@@ -1,0 +1,212 @@
+// Command experiments regenerates the paper's evaluation: every table and
+// figure of Sec 5 plus this repository's ablations.
+//
+// Usage:
+//
+//	experiments -exp all                    # everything, laptop scale
+//	experiments -exp fig2b -traces 100      # one figure, more traces
+//	experiments -exp fig5 -profile paper    # literal Sec 5.1 parameters
+//
+// Experiment ids: motivational, milp-vs-heuristic, fig2a, fig2b, fig3a,
+// fig3b, fig4a, fig4b, fig5, ablation-regret, ablation-migration,
+// online-predictors, lookahead, baseline-static, load-surface, all.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"predrm/internal/experiments"
+	"predrm/internal/trace"
+)
+
+func main() {
+	var (
+		exp      = flag.String("exp", "all", "experiment id (see doc comment)")
+		traces   = flag.Int("traces", 30, "traces per group (paper: 500)")
+		traceLen = flag.Int("len", 200, "requests per trace (paper: 500)")
+		seed     = flag.Uint64("seed", 1, "workload seed")
+		profile  = flag.String("profile", "calibrated", "workload profile: calibrated or paper")
+		nodes    = flag.Int("exact-nodes", 0, "exact-solver node limit per activation (0 = default)")
+		csvDir   = flag.String("csv", "", "also write each table as CSV into this directory")
+	)
+	flag.Parse()
+
+	cfg := experiments.DefaultConfig()
+	cfg.Traces = *traces
+	cfg.TraceLen = *traceLen
+	cfg.Seed = *seed
+	cfg.ExactNodeLimit = *nodes
+	switch *profile {
+	case "calibrated":
+		cfg.Profile = experiments.CalibratedProfile()
+	case "paper":
+		cfg.Profile = experiments.PaperProfile()
+	default:
+		fatalf("unknown profile %q", *profile)
+	}
+
+	ids := strings.Split(*exp, ",")
+	if *exp == "all" {
+		// impact-lt/impact-vt print Fig 2 and Fig 3 from a single run.
+		ids = []string{
+			"motivational", "milp-vs-heuristic",
+			"impact-lt", "impact-vt",
+			"fig4a", "fig4b", "fig5",
+			"ablation-regret", "ablation-migration", "online-predictors",
+			"lookahead", "baseline-static", "load-surface",
+		}
+	}
+	start := time.Now()
+	for _, id := range ids {
+		id = strings.TrimSpace(id)
+		tables, err := run(id, cfg)
+		if err != nil {
+			fatalf("%s: %v", id, err)
+		}
+		for _, t := range tables {
+			if err := t.Fprint(os.Stdout); err != nil {
+				fatalf("%s: %v", id, err)
+			}
+		}
+		if *csvDir != "" {
+			if err := writeCSVs(*csvDir, id, tables); err != nil {
+				fatalf("%s: %v", id, err)
+			}
+		}
+	}
+	fmt.Printf("done in %v (profile=%s, %d traces x %d requests)\n",
+		time.Since(start).Round(time.Millisecond), cfg.Profile.Name, cfg.Traces, cfg.TraceLen)
+}
+
+func run(id string, cfg experiments.Config) ([]*experiments.Table, error) {
+	sweep := []float64{0.25, 0.5, 0.75, 1.0}
+	switch id {
+	case "motivational":
+		r, err := experiments.Motivational()
+		if err != nil {
+			return nil, err
+		}
+		return []*experiments.Table{r.Table}, nil
+	case "milp-vs-heuristic":
+		r, err := experiments.MILPvsHeuristic(cfg)
+		if err != nil {
+			return nil, err
+		}
+		return []*experiments.Table{r.Table}, nil
+	case "fig2a", "fig3b", "impact-lt":
+		r, err := experiments.PredictionImpact(cfg, trace.LessTight)
+		if err != nil {
+			return nil, err
+		}
+		switch id {
+		case "fig2a":
+			return []*experiments.Table{r.RejectionTable}, nil
+		case "fig3b":
+			return []*experiments.Table{r.EnergyTable}, nil
+		}
+		return []*experiments.Table{r.RejectionTable, r.EnergyTable}, nil
+	case "fig2b", "fig3a", "impact-vt":
+		r, err := experiments.PredictionImpact(cfg, trace.VeryTight)
+		if err != nil {
+			return nil, err
+		}
+		switch id {
+		case "fig2b":
+			return []*experiments.Table{r.RejectionTable}, nil
+		case "fig3a":
+			return []*experiments.Table{r.EnergyTable}, nil
+		}
+		return []*experiments.Table{r.RejectionTable, r.EnergyTable}, nil
+	case "fig4a":
+		r, err := experiments.Fig4a(cfg, sweep)
+		if err != nil {
+			return nil, err
+		}
+		return []*experiments.Table{r.Table}, nil
+	case "fig4b":
+		r, err := experiments.Fig4b(cfg, sweep)
+		if err != nil {
+			return nil, err
+		}
+		return []*experiments.Table{r.Table}, nil
+	case "fig5":
+		r, err := experiments.Fig5(cfg, []float64{0, 0.01, 0.02, 0.04, 0.08, 0.25, 0.5, 1.0})
+		if err != nil {
+			return nil, err
+		}
+		return []*experiments.Table{r.Table}, nil
+	case "ablation-regret":
+		r, err := experiments.AblationRegret(cfg)
+		if err != nil {
+			return nil, err
+		}
+		return []*experiments.Table{r.Table}, nil
+	case "ablation-migration":
+		r, err := experiments.AblationMigration(cfg)
+		if err != nil {
+			return nil, err
+		}
+		return []*experiments.Table{r.Table}, nil
+	case "baseline-static":
+		r, err := experiments.BaselineStatic(cfg)
+		if err != nil {
+			return nil, err
+		}
+		return []*experiments.Table{r.Table}, nil
+	case "lookahead":
+		r, err := experiments.LookaheadSweep(cfg, []int{1, 2, 3, 4})
+		if err != nil {
+			return nil, err
+		}
+		return []*experiments.Table{r.Table}, nil
+	case "online-predictors":
+		r, err := experiments.OnlinePredictors(cfg)
+		if err != nil {
+			return nil, err
+		}
+		return []*experiments.Table{r.Table}, nil
+	case "load-surface":
+		r, err := experiments.LoadSurface(cfg, []float64{1.2, 1.7, 2.2, 3.0, 4.5})
+		if err != nil {
+			return nil, err
+		}
+		return []*experiments.Table{r.Table}, nil
+	default:
+		return nil, fmt.Errorf("unknown experiment id %q", id)
+	}
+}
+
+// writeCSVs exports an experiment's tables into dir.
+func writeCSVs(dir, id string, tables []*experiments.Table) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	for i, t := range tables {
+		name := id
+		if len(tables) > 1 {
+			name = fmt.Sprintf("%s-%d", id, i+1)
+		}
+		f, err := os.Create(filepath.Join(dir, name+".csv"))
+		if err != nil {
+			return err
+		}
+		if err := t.WriteCSV(f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "experiments: "+format+"\n", args...)
+	os.Exit(1)
+}

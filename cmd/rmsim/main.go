@@ -1,0 +1,174 @@
+// Command rmsim runs one resource-management simulation over a generated
+// or loaded trace and reports acceptance, energy and migration statistics.
+//
+// Usage:
+//
+//	rmsim -engine heuristic -predict -accuracy 0.9 -seed 1
+//	rmsim -taskset traces/taskset.json -trace traces/trace-VT-000.json -engine milp -gantt 60
+//
+// A trace produced by tracegen should be loaded together with its
+// taskset.json (task-set generation is part of the workload's identity);
+// without -taskset, rmsim regenerates the set from -seed and -types.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"predrm/internal/core"
+	"predrm/internal/exact"
+	"predrm/internal/gantt"
+	"predrm/internal/platform"
+	"predrm/internal/predict"
+	"predrm/internal/rng"
+	"predrm/internal/sim"
+	"predrm/internal/task"
+	"predrm/internal/trace"
+)
+
+func main() {
+	var (
+		tracePath = flag.String("trace", "", "trace JSON file (empty: generate)")
+		setPath   = flag.String("taskset", "", "task-set JSON file written by tracegen (empty: generate from -seed)")
+		engine    = flag.String("engine", "heuristic", "mapping engine: heuristic, greedy, or milp")
+		usePred   = flag.Bool("predict", false, "enable the oracle predictor")
+		accuracy  = flag.Float64("accuracy", 1.0, "oracle task-type accuracy in [0,1]")
+		timeErr   = flag.Float64("time-error", 0, "oracle arrival-time normalized RMSE")
+		overhead  = flag.Float64("overhead", 0, "prediction overhead in time units")
+		seed      = flag.Uint64("seed", 1, "workload seed")
+		length    = flag.Int("len", 500, "generated trace length")
+		group     = flag.String("group", "VT", "deadline group: VT or LT")
+		meanIA    = flag.Float64("interarrival", 3.0, "generated mean interarrival")
+		types     = flag.Int("types", 100, "task types")
+		workCons  = flag.Bool("work-conserving", false, "ignore predicted-task reservations between activations")
+		verbose   = flag.Bool("v", false, "print per-request outcomes")
+		showGantt = flag.Int("gantt", 0, "render the first N time units of the executed schedule")
+	)
+	flag.Parse()
+
+	root := rng.New(*seed)
+	var (
+		plat *platform.Platform
+		set  *task.Set
+		err  error
+	)
+	if *setPath != "" {
+		set, err = task.ReadFile(*setPath)
+		if err != nil {
+			fatalf("load task set: %v", err)
+		}
+		plat = set.Platform
+		root.Split() // keep the trace stream aligned with the generate path
+	} else {
+		plat = platform.Default()
+		tcfg := task.DefaultGenConfig()
+		tcfg.NumTypes = *types
+		set, err = task.Generate(plat, tcfg, root.Split())
+		if err != nil {
+			fatalf("task set: %v", err)
+		}
+	}
+
+	var tr *trace.Trace
+	if *tracePath != "" {
+		tr, err = trace.ReadFile(*tracePath)
+		if err != nil {
+			fatalf("load trace: %v", err)
+		}
+	} else {
+		tight := trace.VeryTight
+		if *group == "LT" || *group == "lt" {
+			tight = trace.LessTight
+		}
+		gcfg := trace.GenConfig{
+			Length:           *length,
+			InterarrivalMean: *meanIA,
+			InterarrivalStd:  *meanIA / 3,
+			Tightness:        tight,
+		}
+		tr, err = trace.Generate(set, gcfg, root.Split())
+		if err != nil {
+			fatalf("generate trace: %v", err)
+		}
+	}
+
+	cfg := sim.Config{
+		Platform:        plat,
+		TaskSet:         set,
+		WorkConserving:  *workCons,
+		RecordExecution: *showGantt > 0,
+	}
+	switch *engine {
+	case "heuristic":
+		cfg.Solver = &core.Heuristic{}
+	case "greedy":
+		cfg.Solver = &core.Heuristic{Greedy: true}
+	case "milp":
+		cfg.Solver = &exact.Optimal{}
+	default:
+		fatalf("unknown engine %q", *engine)
+	}
+	if *usePred {
+		o, err := predict.NewOracle(tr, predict.OracleConfig{
+			TypeAccuracy: *accuracy,
+			TimeError:    *timeErr,
+			Overhead:     *overhead,
+			NumTypes:     set.Len(),
+			Seed:         *seed + 17,
+		})
+		if err != nil {
+			fatalf("oracle: %v", err)
+		}
+		cfg.Predictor = o
+	}
+
+	res, err := sim.Run(cfg, tr)
+	if err != nil {
+		fatalf("simulate: %v", err)
+	}
+
+	if *verbose {
+		for _, j := range res.Jobs {
+			status := "rejected"
+			if j.Accepted {
+				status = fmt.Sprintf("finished %.3f", j.FinishTime)
+			}
+			fmt.Printf("req %3d type %3d arr %9.3f dl %9.3f  %s\n",
+				j.ID, j.Type, j.Arrival, j.AbsDeadline, status)
+		}
+	}
+	fmt.Printf("engine:           %s (prediction %v)\n", *engine, *usePred)
+	fmt.Printf("requests:         %d\n", res.Requests)
+	fmt.Printf("accepted:         %d\n", res.Accepted)
+	fmt.Printf("rejected:         %d (%.2f%%)\n", res.Rejected, res.RejectionPct())
+	fmt.Printf("total energy:     %.2f J\n", res.TotalEnergy)
+	fmt.Printf("migrations:       %d (%.2f J)\n", res.Migrations, res.MigrationEnergy)
+	fmt.Printf("makespan:         %.2f\n", res.MakeSpan)
+	fmt.Printf("deadline misses:  %d\n", res.DeadlineMisses)
+	if *showGantt > 0 {
+		var opening []sim.ExecSegment
+		for _, seg := range res.Execution {
+			if seg.Start < float64(*showGantt) {
+				if seg.End > float64(*showGantt) {
+					seg.End = float64(*showGantt)
+				}
+				opening = append(opening, seg)
+			}
+		}
+		if chart, err := gantt.New(plat, opening); err == nil {
+			fmt.Printf("\nexecuted schedule, t in [0, %d):\n", *showGantt)
+			if err := chart.Render(os.Stdout, 100); err != nil {
+				fatalf("render: %v", err)
+			}
+		}
+	}
+	if res.DeadlineMisses > 0 {
+		fatalf("deadline misses detected: resource-manager invariant broken")
+	}
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "rmsim: "+format+"\n", args...)
+	os.Exit(1)
+}

@@ -1,0 +1,85 @@
+// Command tracegen generates synthetic workload traces following the
+// paper's Sec 5.1 methodology and writes them as JSON files.
+//
+// Usage:
+//
+//	tracegen -out traces/ -count 10 -len 500 -group VT -seed 1
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"predrm/internal/platform"
+	"predrm/internal/rng"
+	"predrm/internal/task"
+	"predrm/internal/trace"
+)
+
+func main() {
+	var (
+		out    = flag.String("out", ".", "output directory")
+		count  = flag.Int("count", 10, "number of traces")
+		length = flag.Int("len", 500, "requests per trace")
+		group  = flag.String("group", "VT", "deadline group: VT or LT")
+		seed   = flag.Uint64("seed", 1, "generator seed")
+		meanIA = flag.Float64("interarrival", 1.2, "mean interarrival time")
+		stdIA  = flag.Float64("interarrival-std", 0.4, "interarrival std deviation")
+		types  = flag.Int("types", 100, "task types in the generated set")
+		cpus   = flag.Int("cpus", 5, "platform CPUs")
+		gpus   = flag.Int("gpus", 1, "platform GPUs")
+	)
+	flag.Parse()
+
+	var tight trace.Tightness
+	switch *group {
+	case "VT", "vt":
+		tight = trace.VeryTight
+	case "LT", "lt":
+		tight = trace.LessTight
+	default:
+		fatalf("unknown group %q (want VT or LT)", *group)
+	}
+
+	root := rng.New(*seed)
+	plat := platform.New(*cpus, *gpus)
+	tcfg := task.DefaultGenConfig()
+	tcfg.NumTypes = *types
+	set, err := task.Generate(plat, tcfg, root.Split())
+	if err != nil {
+		fatalf("generate task set: %v", err)
+	}
+
+	gcfg := trace.GenConfig{
+		Length:           *length,
+		InterarrivalMean: *meanIA,
+		InterarrivalStd:  *stdIA,
+		Tightness:        tight,
+	}
+	traces, err := trace.GenerateGroup(set, gcfg, *count, root.Split())
+	if err != nil {
+		fatalf("generate traces: %v", err)
+	}
+	if err := os.MkdirAll(*out, 0o755); err != nil {
+		fatalf("create output dir: %v", err)
+	}
+	setPath := filepath.Join(*out, "taskset.json")
+	if err := set.WriteFile(setPath); err != nil {
+		fatalf("write task set: %v", err)
+	}
+	fmt.Printf("%s  (%d types on %s)\n", setPath, set.Len(), plat)
+	for i, tr := range traces {
+		path := filepath.Join(*out, fmt.Sprintf("trace-%s-%03d.json", tight, i))
+		if err := tr.WriteFile(path); err != nil {
+			fatalf("write %s: %v", path, err)
+		}
+		fmt.Printf("%s  (%d requests, mean interarrival %.3f)\n", path, tr.Len(), tr.MeanInterarrival())
+	}
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "tracegen: "+format+"\n", args...)
+	os.Exit(1)
+}

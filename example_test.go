@@ -1,0 +1,71 @@
+package predrm_test
+
+import (
+	"fmt"
+	"log"
+
+	"predrm"
+)
+
+// ExampleAdmit replays the paper's motivational example (Sec 3): with a
+// prediction of τ2, the resource manager reserves the GPU and steers τ1
+// to CPU1.
+func ExampleAdmit() {
+	set := predrm.MotivationalTaskSet()
+	j1 := predrm.NewJob(0, set.Type(0), 0, 8)
+	predicted := predrm.NewJob(1, set.Type(1), 1, 5)
+	predicted.Predicted = true
+	problem := &predrm.Problem{
+		Platform: set.Platform,
+		Time:     0,
+		Jobs:     []*predrm.Job{j1, predicted},
+	}
+	decision, admitted := predrm.Admit(predrm.NewOptimal(), problem)
+	fmt.Println("admitted:", admitted)
+	fmt.Println("tau1 on:", set.Platform.Resource(decision.Mapping[0]).Name)
+	fmt.Println("reserved for tau2:", set.Platform.Resource(decision.Mapping[1]).Name)
+	fmt.Printf("planned energy: %.1f J\n", decision.Energy)
+	// Output:
+	// admitted: true
+	// tau1 on: CPU1
+	// reserved for tau2: GPU1
+	// planned energy: 8.8 J
+}
+
+// ExampleSimulate runs a small workload end to end with the paper's
+// heuristic and a perfect next-request oracle.
+func ExampleSimulate() {
+	plat := predrm.DefaultPlatform()
+	set, err := predrm.GenerateTaskSet(plat, predrm.DefaultTaskGenConfig(), 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	cfg := predrm.DefaultTraceGenConfig(predrm.VeryTight)
+	cfg.Length = 100
+	cfg.InterarrivalMean = 2.5
+	cfg.InterarrivalStd = 0.8
+	tr, err := predrm.GenerateTrace(set, cfg, 2)
+	if err != nil {
+		log.Fatal(err)
+	}
+	oracle, err := predrm.NewOracle(tr, predrm.OracleConfig{TypeAccuracy: 1, NumTypes: set.Len()})
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := predrm.Simulate(predrm.SimConfig{
+		Platform:  plat,
+		TaskSet:   set,
+		Solver:    predrm.NewHeuristic(),
+		Predictor: oracle,
+	}, tr)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("requests:", res.Requests)
+	fmt.Println("deadline misses:", res.DeadlineMisses)
+	fmt.Println("every accepted task met its deadline:", res.DeadlineMisses == 0)
+	// Output:
+	// requests: 100
+	// deadline misses: 0
+	// every accepted task met its deadline: true
+}

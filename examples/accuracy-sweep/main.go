@@ -1,0 +1,101 @@
+// Accuracy-sweep reproduces the question behind the paper's Fig 4: how
+// accurate does prediction have to be before it helps rather than harms?
+// It sweeps the oracle's task-type accuracy and arrival-time error over a
+// shared set of very-tight-deadline traces and prints rejection rates
+// against the predictor-off baseline.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"predrm"
+)
+
+const (
+	numTraces = 6
+	traceLen  = 150
+)
+
+func main() {
+	plat := predrm.DefaultPlatform()
+	set, err := predrm.GenerateTaskSet(plat, predrm.DefaultTaskGenConfig(), 7)
+	if err != nil {
+		log.Fatal(err)
+	}
+	tcfg := predrm.DefaultTraceGenConfig(predrm.VeryTight)
+	tcfg.Length = traceLen
+	tcfg.InterarrivalMean = 2.2
+	tcfg.InterarrivalStd = 0.7
+
+	traces := make([]*predrm.Trace, numTraces)
+	for i := range traces {
+		tr, err := predrm.GenerateTrace(set, tcfg, 100+uint64(i))
+		if err != nil {
+			log.Fatal(err)
+		}
+		traces[i] = tr
+	}
+
+	run := func(mk func(tr *predrm.Trace, seed uint64) (predrm.Predictor, error)) float64 {
+		var rej float64
+		for i, tr := range traces {
+			cfg := predrm.SimConfig{Platform: plat, TaskSet: set, Solver: predrm.NewHeuristic()}
+			if mk != nil {
+				p, err := mk(tr, uint64(i))
+				if err != nil {
+					log.Fatal(err)
+				}
+				cfg.Predictor = p
+			}
+			res, err := predrm.Simulate(cfg, tr)
+			if err != nil {
+				log.Fatal(err)
+			}
+			if res.DeadlineMisses > 0 {
+				log.Fatalf("deadline misses: %d", res.DeadlineMisses)
+			}
+			rej += res.RejectionPct()
+		}
+		return rej / numTraces
+	}
+
+	off := run(nil)
+	fmt.Printf("predictor off:           rejection %6.2f%%\n\n", off)
+
+	fmt.Println("task-type accuracy sweep (arrival time exact):")
+	for _, acc := range []float64{0.25, 0.5, 0.75, 1.0} {
+		rej := run(func(tr *predrm.Trace, seed uint64) (predrm.Predictor, error) {
+			return predrm.NewOracle(tr, predrm.OracleConfig{
+				TypeAccuracy: acc, NumTypes: set.Len(), Seed: seed,
+			})
+		})
+		fmt.Printf("  accuracy %.2f: rejection %6.2f%%  (vs off: %+.2fpp)\n", acc, rej, rej-off)
+	}
+
+	fmt.Println("\narrival-time accuracy sweep (task type exact):")
+	for _, acc := range []float64{0.25, 0.5, 0.75, 1.0} {
+		rej := run(func(tr *predrm.Trace, seed uint64) (predrm.Predictor, error) {
+			return predrm.NewOracle(tr, predrm.OracleConfig{
+				TypeAccuracy: 1, TimeError: 1 - acc, NumTypes: set.Len(), Seed: seed,
+			})
+		})
+		fmt.Printf("  accuracy %.2f: rejection %6.2f%%  (vs off: %+.2fpp)\n", acc, rej, rej-off)
+	}
+
+	fmt.Println("\nonline predictors (no oracle):")
+	for _, variant := range []struct {
+		name string
+		mk   func() (predrm.Predictor, error)
+	}{
+		{"markov + EWMA", func() (predrm.Predictor, error) {
+			return predrm.NewMarkov(set.Len(), predrm.NewEWMA(0.2), 0)
+		}},
+		{"markov + two-phase", func() (predrm.Predictor, error) {
+			return predrm.NewMarkov(set.Len(), predrm.NewTwoPhase(0.3), 0)
+		}},
+	} {
+		rej := run(func(*predrm.Trace, uint64) (predrm.Predictor, error) { return variant.mk() })
+		fmt.Printf("  %-18s rejection %6.2f%%  (vs off: %+.2fpp)\n", variant.name, rej, rej-off)
+	}
+}

@@ -1,0 +1,95 @@
+// Critical-mix demonstrates the paper's Sec 2 mixed-criticality setup: a
+// design-time-allocated hard real-time workload (control loop + sensor
+// fusion, statically mapped to CPUs) running underneath the adaptive
+// prediction-based resource manager, which serves a fluctuating request
+// stream on the remaining capacity. It finishes with a Gantt chart of the
+// opening of the executed schedule.
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"predrm"
+)
+
+func main() {
+	plat := predrm.DefaultPlatform()
+	set, err := predrm.GenerateTaskSet(plat, predrm.DefaultTaskGenConfig(), 11)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// The safety-critical workload: decided at design time, guaranteed at
+	// runtime. Density: CPU1 30%, CPU2 20%.
+	crit := &predrm.CriticalSet{Tasks: []*predrm.CriticalTask{
+		{ID: 0, Name: "control-loop", Resource: 0, Period: 10, WCET: 3, Energy: 1.2, Deadline: 6},
+		{ID: 1, Name: "sensor-fusion", Resource: 1, Period: 25, Offset: 4, WCET: 5, Energy: 2.0, Deadline: 20},
+	}}
+
+	tcfg := predrm.DefaultTraceGenConfig(predrm.VeryTight)
+	tcfg.Length = 200
+	tcfg.InterarrivalMean = 2.6
+	tcfg.InterarrivalStd = 0.8
+	tr, err := predrm.GenerateTrace(set, tcfg, 12)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	oracle, err := predrm.NewOracle(tr, predrm.OracleConfig{TypeAccuracy: 1, NumTypes: set.Len(), Seed: 13})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	for _, withCritical := range []bool{false, true} {
+		cfg := predrm.SimConfig{
+			Platform:        plat,
+			TaskSet:         set,
+			Solver:          predrm.NewHeuristic(),
+			Predictor:       oracle,
+			RecordExecution: withCritical,
+		}
+		label := "adaptive only     "
+		if withCritical {
+			cfg.Critical = crit
+			label = "with critical load"
+		}
+		res, err := predrm.Simulate(cfg, tr)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if res.DeadlineMisses > 0 || res.CriticalMisses > 0 {
+			log.Fatalf("deadline misses: %d adaptive, %d critical", res.DeadlineMisses, res.CriticalMisses)
+		}
+		fmt.Printf("%s  rejection %6.2f%%  adaptive energy %7.1f J  critical jobs %3d (%.1f J, 0 misses)\n",
+			label, res.RejectionPct(), res.TotalEnergy, res.CriticalJobs, res.CriticalEnergy)
+
+		if withCritical {
+			// Render the first 60 time units of the executed schedule.
+			var opening []predrm.ExecSegment
+			for _, s := range res.Execution {
+				if s.Start < 60 {
+					if s.End > 60 {
+						s.End = 60
+					}
+					opening = append(opening, s)
+				}
+			}
+			chart, err := predrm.NewGantt(plat, opening)
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Println("\nexecuted schedule, t in [0, 60) (critical jobs have negative ids):")
+			if err := chart.Render(os.Stdout, 100); err != nil {
+				log.Fatal(err)
+			}
+			u := chart.Utilization()
+			fmt.Print("utilization:")
+			for i, v := range u {
+				fmt.Printf(" %s %.0f%%", plat.Resource(i).Name, 100*v)
+			}
+			fmt.Println()
+		}
+	}
+}

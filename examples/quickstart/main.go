@@ -1,0 +1,68 @@
+// Quickstart: generate a workload, run the prediction-aware resource
+// manager with and without a perfect predictor, and compare outcomes.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"predrm"
+)
+
+func main() {
+	// The paper's evaluation platform: five CPUs and one GPU.
+	plat := predrm.DefaultPlatform()
+	fmt.Println("platform:", plat)
+
+	// 100 synthetic task types (Sec 5.1 parameters), deterministic in the
+	// seed.
+	set, err := predrm.GenerateTaskSet(plat, predrm.DefaultTaskGenConfig(), 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// A very-tight-deadline trace at a load where the platform has to
+	// reject some requests.
+	tcfg := predrm.DefaultTraceGenConfig(predrm.VeryTight)
+	tcfg.Length = 300
+	tcfg.InterarrivalMean = 2.5
+	tcfg.InterarrivalStd = 0.8
+	tr, err := predrm.GenerateTrace(set, tcfg, 2)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("trace: %d requests, mean interarrival %.2f\n\n", tr.Len(), tr.MeanInterarrival())
+
+	// Without prediction.
+	base := predrm.SimConfig{Platform: plat, TaskSet: set, Solver: predrm.NewHeuristic()}
+	off, err := predrm.Simulate(base, tr)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// With a perfect next-request oracle (the paper's "predictor on").
+	oracle, err := predrm.NewOracle(tr, predrm.OracleConfig{
+		TypeAccuracy: 1,
+		NumTypes:     set.Len(),
+		Seed:         3,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	withPred := base
+	withPred.Predictor = oracle
+	on, err := predrm.Simulate(withPred, tr)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("%-22s %12s %12s\n", "", "predictor off", "predictor on")
+	fmt.Printf("%-22s %12.2f%% %12.2f%%\n", "rejection", off.RejectionPct(), on.RejectionPct())
+	fmt.Printf("%-22s %12.1f %12.1f\n", "total energy (J)", off.TotalEnergy, on.TotalEnergy)
+	fmt.Printf("%-22s %12d %12d\n", "migrations", off.Migrations, on.Migrations)
+	fmt.Printf("%-22s %12d %12d\n", "deadline misses", off.DeadlineMisses, on.DeadlineMisses)
+
+	if off.DeadlineMisses != 0 || on.DeadlineMisses != 0 {
+		log.Fatal("resource-manager invariant broken: accepted job missed its deadline")
+	}
+}

@@ -1,0 +1,3 @@
+module predrm
+
+go 1.22

@@ -1,0 +1,253 @@
+// Package core implements the paper's primary contribution: the fast
+// knapsack-style mapping heuristic (Algorithm 1, Sec 4.3) and the admission
+// protocol that wraps any mapping solver with the with-/without-prediction
+// fallback (Sec 4.1).
+//
+// The heuristic treats resources as knapsacks whose capacity is the
+// available processing time within the decision window K̄, and tasks as
+// items weighted by cpm. Tasks are assigned in max-regret order: the task
+// whose best and second-best resources differ most in desirability is
+// placed first, on its most desirable resource that passes the EDF
+// schedulability check.
+package core
+
+import (
+	"math"
+
+	"predrm/internal/sched"
+	"predrm/internal/task"
+)
+
+// bigM is the Algorithm 1 penalty making a resource undesirable when the
+// task's execution demand exceeds its deadline slack. Any value safely
+// above all reachable energy sums works; energies are O(10) per task and
+// problems hold tens of tasks.
+const bigM = 1e9
+
+// Decision is a solver's answer for one Problem.
+type Decision struct {
+	// Mapping assigns Problem.Jobs[i] to resource Mapping[i]; sched.Unmapped
+	// if the solver failed.
+	Mapping []int
+	// Feasible reports whether Mapping schedules every job (including a
+	// predicted one) within its deadline.
+	Feasible bool
+	// Energy is the objective value of Mapping when feasible.
+	Energy float64
+}
+
+// Solver maps all jobs of a problem at once. Implementations must treat
+// the problem as read-only.
+type Solver interface {
+	Solve(p *sched.Problem) Decision
+}
+
+// Heuristic is the paper's Algorithm 1. The zero value is ready to use.
+type Heuristic struct {
+	// Greedy disables the max-regret task ordering and assigns jobs in
+	// index order instead (ablation A1). The per-resource capacity and
+	// schedulability machinery is unchanged.
+	Greedy bool
+}
+
+var _ Solver = (*Heuristic)(nil)
+
+// Solve runs Algorithm 1 on p.
+func (h *Heuristic) Solve(p *sched.Problem) Decision {
+	n := p.Platform.Len()
+	jobs := p.Jobs
+	mapping := make([]int, len(jobs))
+	for i := range mapping {
+		mapping[i] = sched.Unmapped
+	}
+
+	// Per-resource remaining capacity K̄_i and the entries mapped so far
+	// (for IsSchedulable).
+	window := p.Window()
+	capacity := make([]float64, n)
+	for i := range capacity {
+		capacity[i] = window
+	}
+	entries := make([][]sched.Entry, n)
+
+	assign := func(jobIdx, r int) {
+		mapping[jobIdx] = r
+		cpm := jobs[jobIdx].CPM(r, p.Policy)
+		capacity[r] -= cpm
+		j := jobs[jobIdx]
+		entries[r] = append(entries[r], sched.Entry{
+			ReadyAt:     math.Max(j.Arrival, p.Time),
+			Deadline:    j.AbsDeadline,
+			Rem:         cpm,
+			PinnedFirst: j.Pinned(p.Platform) && j.Resource == r,
+		})
+	}
+
+	// Pinned jobs are not free decisions: pre-assign them so the heuristic
+	// plans around the work it cannot move.
+	unassigned := make([]int, 0, len(jobs))
+	for idx, j := range jobs {
+		if j.Fixed || j.Pinned(p.Platform) {
+			assign(idx, j.Resource)
+			continue
+		}
+		unassigned = append(unassigned, idx)
+	}
+
+	// Desirability f_{j,i} = ep + em + M·(cpm > t_left); +Inf when the
+	// type cannot run on i (line 6 of Algorithm 1).
+	desirability := func(jobIdx, r int) float64 {
+		j := jobs[jobIdx]
+		e := j.EPM(r, p.Policy)
+		if e == task.NotExecutable {
+			return math.Inf(1)
+		}
+		if j.CPM(r, p.Policy) > j.TimeLeft(p.Time)+sched.Eps {
+			e += bigM
+		}
+		return e
+	}
+
+	isSchedulable := func(jobIdx, r int) bool {
+		j := jobs[jobIdx]
+		cand := sched.Entry{
+			ReadyAt:  math.Max(j.Arrival, p.Time),
+			Deadline: j.AbsDeadline,
+			Rem:      j.CPM(r, p.Policy),
+		}
+		trial := append(append(make([]sched.Entry, 0, len(entries[r])+1), entries[r]...), cand)
+		return sched.ResourceFeasible(p.Platform.Resource(r).Preemptable(), p.Time, trial)
+	}
+
+	// feasibleSet returns F_j: resources whose remaining capacity fits the
+	// job (line 10).
+	feasibleSet := func(jobIdx int) []int {
+		var fs []int
+		for r := 0; r < n; r++ {
+			cpm := jobs[jobIdx].CPM(r, p.Policy)
+			if cpm != task.NotExecutable && cpm <= capacity[r]+sched.Eps {
+				fs = append(fs, r)
+			}
+		}
+		return fs
+	}
+
+	for len(unassigned) > 0 {
+		// Select the next job: max regret d* (lines 8-20), or first in
+		// index order for the greedy ablation.
+		pick := -1
+		var pickSet []int
+		if h.Greedy {
+			pick = 0
+			pickSet = feasibleSet(unassigned[0])
+			if len(pickSet) == 0 {
+				return Decision{Mapping: mapping, Feasible: false}
+			}
+		} else {
+			dStar := math.Inf(-1)
+			for u, jobIdx := range unassigned {
+				fs := feasibleSet(jobIdx)
+				if len(fs) == 0 {
+					// Line 22: no solution.
+					return Decision{Mapping: mapping, Feasible: false}
+				}
+				best, second := math.Inf(1), math.Inf(1)
+				for _, r := range fs {
+					f := desirability(jobIdx, r)
+					if f < best {
+						best, second = f, best
+					} else if f < second {
+						second = f
+					}
+				}
+				d := second - best // +Inf when |F_j| == 1 (line 14)
+				if d > dStar {
+					dStar = d
+					pick = u
+					pickSet = fs
+				}
+			}
+		}
+
+		jobIdx := unassigned[pick]
+		unassigned = append(unassigned[:pick], unassigned[pick+1:]...)
+
+		// Map j* to the most desirable schedulable resource (lines 24-34).
+		placed := false
+		for len(pickSet) > 0 {
+			bi, bf := -1, math.Inf(1)
+			for k, r := range pickSet {
+				if f := desirability(jobIdx, r); f < bf {
+					bf, bi = f, k
+				}
+			}
+			r := pickSet[bi]
+			if isSchedulable(jobIdx, r) {
+				assign(jobIdx, r)
+				placed = true
+				break
+			}
+			pickSet = append(pickSet[:bi], pickSet[bi+1:]...)
+		}
+		if !placed {
+			// Lines 31-32: no more resources.
+			return Decision{Mapping: mapping, Feasible: false}
+		}
+	}
+
+	return Decision{Mapping: mapping, Feasible: true, Energy: p.Energy(mapping)}
+}
+
+// Admit runs the Sec 4.1 admission protocol: solve with the predicted
+// job(s) included; on failure, drop predicted jobs one at a time —
+// farthest forecast horizon first, since distant forecasts are both least
+// certain and least binding — and re-solve, finally attempting the plain
+// no-prediction problem. The returned mapping always covers p.Jobs
+// (dropped predicted jobs map to sched.Unmapped); admitted reports whether
+// the arriving task is accepted. With the paper's single-step prediction
+// this reduces exactly to Sec 4.1's with/without fallback.
+func Admit(s Solver, p *sched.Problem) (d Decision, admitted bool) {
+	cur := p
+	for {
+		d = s.Solve(cur)
+		if d.Feasible {
+			return inflate(p, cur, d), true
+		}
+		// Drop the latest-arriving predicted job, if any remain.
+		drop := -1
+		for i, j := range cur.Jobs {
+			if j.Predicted && (drop == -1 || j.Arrival > cur.Jobs[drop].Arrival) {
+				drop = i
+			}
+		}
+		if drop == -1 {
+			mapping := make([]int, len(p.Jobs))
+			for i := range mapping {
+				mapping[i] = sched.Unmapped
+			}
+			return Decision{Mapping: mapping, Feasible: false}, false
+		}
+		cur = cur.Without(drop)
+	}
+}
+
+// inflate lifts a sub-problem decision back onto the original problem's
+// job order; jobs dropped from the sub-problem become Unmapped.
+func inflate(p, cur *sched.Problem, d Decision) Decision {
+	if len(cur.Jobs) == len(p.Jobs) {
+		return d
+	}
+	byJob := make(map[*sched.Job]int, len(cur.Jobs))
+	for i, j := range cur.Jobs {
+		byJob[j] = d.Mapping[i]
+	}
+	full := make([]int, len(p.Jobs))
+	for i, j := range p.Jobs {
+		if r, ok := byJob[j]; ok {
+			full[i] = r
+		} else {
+			full[i] = sched.Unmapped
+		}
+	}
+	return Decision{Mapping: full, Feasible: true, Energy: d.Energy}
+}

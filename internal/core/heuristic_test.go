@@ -1,0 +1,244 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"predrm/internal/platform"
+	"predrm/internal/rng"
+	"predrm/internal/sched"
+	"predrm/internal/task"
+)
+
+func motivationalProblem(withPred bool) *sched.Problem {
+	ts := task.Motivational()
+	j1 := sched.NewJob(0, ts.Type(0), 0, 8)
+	p := &sched.Problem{
+		Platform: platform.Motivational(),
+		Time:     0,
+		Jobs:     []*sched.Job{j1},
+	}
+	if withPred {
+		jp := sched.NewJob(1, ts.Type(1), 1, 5)
+		jp.Predicted = true
+		p.Jobs = append(p.Jobs, jp)
+	}
+	return p
+}
+
+func TestHeuristicMotivationalNoPrediction(t *testing.T) {
+	// Without prediction the heuristic puts τ1 on the GPU: minimum energy.
+	p := motivationalProblem(false)
+	d := (&Heuristic{}).Solve(p)
+	if !d.Feasible {
+		t.Fatal("single-task problem must be feasible")
+	}
+	if d.Mapping[0] != 2 {
+		t.Fatalf("τ1 mapped to %d, want GPU (2)", d.Mapping[0])
+	}
+	if math.Abs(d.Energy-2) > 1e-12 {
+		t.Fatalf("energy = %v, want 2", d.Energy)
+	}
+}
+
+func TestHeuristicMotivationalWithPrediction(t *testing.T) {
+	// With the predicted τ2 (arrival 1, deadline 5), the GPU must be
+	// reserved: τ1 goes to CPU1 — the paper's scenario (b).
+	p := motivationalProblem(true)
+	d := (&Heuristic{}).Solve(p)
+	if !d.Feasible {
+		t.Fatal("scenario (b) must be feasible")
+	}
+	if d.Mapping[0] != 0 || d.Mapping[1] != 2 {
+		t.Fatalf("mapping = %v, want [0 2]", d.Mapping)
+	}
+	if math.Abs(d.Energy-8.8) > 1e-12 {
+		t.Fatalf("energy = %v, want 8.8 (7.3 + 1.5)", d.Energy)
+	}
+}
+
+func TestHeuristicRespectsPinned(t *testing.T) {
+	ts := task.Motivational()
+	plat := platform.Motivational()
+	// τ1 started on the GPU: pinned. τ2 arrives; even though the GPU is
+	// τ2's cheapest resource, it must not be planned there if infeasible,
+	// and τ1 must stay.
+	j1 := sched.NewJob(0, ts.Type(0), 0, 20)
+	j1.Resource = 2
+	j1.Started = true
+	j1.ExecRes = j1.Resource
+	j1.Frac = 0.9
+	j2 := sched.NewJob(1, ts.Type(1), 1, 30)
+	p := &sched.Problem{Platform: plat, Time: 1, Jobs: []*sched.Job{j1, j2}}
+	d := (&Heuristic{}).Solve(p)
+	if !d.Feasible {
+		t.Fatal("must be feasible")
+	}
+	if d.Mapping[0] != 2 {
+		t.Fatalf("pinned τ1 moved to %d", d.Mapping[0])
+	}
+	// τ2 fits behind τ1 on the GPU (τ1 ends at 1+4.5=5.5, τ2 runs to 8.5
+	// ≤ 31): cheapest is still the GPU.
+	if d.Mapping[1] != 2 {
+		t.Fatalf("τ2 mapped to %d, want GPU", d.Mapping[1])
+	}
+}
+
+func TestHeuristicInfeasibleOverload(t *testing.T) {
+	// Two tasks, both only feasible on the GPU within their deadlines, and
+	// the GPU cannot hold both.
+	ts := task.Motivational()
+	j1 := sched.NewJob(0, ts.Type(0), 0, 5.5) // only GPU (5) fits in 5.5
+	j2 := sched.NewJob(1, ts.Type(1), 0, 3.5) // only GPU (3) fits in 3.5
+	p := &sched.Problem{
+		Platform: platform.Motivational(),
+		Time:     0,
+		Jobs:     []*sched.Job{j1, j2},
+	}
+	d := (&Heuristic{}).Solve(p)
+	if d.Feasible {
+		t.Fatalf("overloaded GPU accepted: %v", d.Mapping)
+	}
+}
+
+func TestHeuristicMaxRegretOrder(t *testing.T) {
+	// Construct a case where greedy-by-index fails but max-regret
+	// succeeds: job A is flexible (two resources), job B only fits on
+	// resource 0. Max-regret places B first.
+	plat := platform.New(2, 0)
+	tyA := &task.Type{ID: 0, WCET: []float64{4, 4}, Energy: []float64{1, 1.05}}
+	tyB := &task.Type{ID: 1, WCET: []float64{4, task.NotExecutable}, Energy: []float64{5, task.NotExecutable}}
+	jA := sched.NewJob(0, tyA, 0, 4)
+	jB := sched.NewJob(1, tyB, 0, 4)
+	p := &sched.Problem{Platform: plat, Time: 0, Jobs: []*sched.Job{jA, jB}}
+
+	d := (&Heuristic{}).Solve(p)
+	if !d.Feasible {
+		t.Fatalf("max-regret should solve this: %v", d.Mapping)
+	}
+	if d.Mapping[0] != 1 || d.Mapping[1] != 0 {
+		t.Fatalf("mapping = %v, want [1 0]", d.Mapping)
+	}
+}
+
+func TestGreedyAblationCanBeWorse(t *testing.T) {
+	// Same instance: the greedy variant maps job A first (to resource 0,
+	// its cheapest), leaving job B stuck — documenting why max-regret
+	// ordering matters (ablation A1).
+	plat := platform.New(2, 0)
+	tyA := &task.Type{ID: 0, WCET: []float64{4, 4}, Energy: []float64{1, 1.05}}
+	tyB := &task.Type{ID: 1, WCET: []float64{4, task.NotExecutable}, Energy: []float64{5, task.NotExecutable}}
+	jA := sched.NewJob(0, tyA, 0, 4)
+	jB := sched.NewJob(1, tyB, 0, 4)
+	p := &sched.Problem{Platform: plat, Time: 0, Jobs: []*sched.Job{jA, jB}}
+
+	d := (&Heuristic{Greedy: true}).Solve(p)
+	if d.Feasible {
+		t.Fatalf("expected greedy to fail here, got %v", d.Mapping)
+	}
+}
+
+func TestHeuristicMappingsAlwaysFeasibleProperty(t *testing.T) {
+	// Whenever the heuristic claims feasibility, the mapping must pass the
+	// independent Problem.FeasibleMapping check.
+	plat := platform.Default()
+	set, err := task.Generate(plat, task.DefaultGenConfig(), rng.New(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rng.New(31)
+	solved := 0
+	for trial := 0; trial < 300; trial++ {
+		p := randomProblem(r, plat, set)
+		d := (&Heuristic{}).Solve(p)
+		if !d.Feasible {
+			continue
+		}
+		solved++
+		if !p.FeasibleMapping(d.Mapping) {
+			t.Fatalf("trial %d: heuristic mapping %v not actually feasible", trial, d.Mapping)
+		}
+		if got := p.Energy(d.Mapping); math.Abs(got-d.Energy) > 1e-9 {
+			t.Fatalf("trial %d: reported energy %v != %v", trial, d.Energy, got)
+		}
+	}
+	if solved == 0 {
+		t.Fatal("no random problem was solvable; generator too harsh")
+	}
+}
+
+// randomProblem builds a random RM activation with a mix of fresh, mapped,
+// started and predicted jobs.
+func randomProblem(r *rng.Rand, plat *platform.Platform, set *task.Set) *sched.Problem {
+	now := r.Uniform(0, 50)
+	n := 1 + r.Intn(6)
+	jobs := make([]*sched.Job, 0, n+1)
+	for i := 0; i < n; i++ {
+		ty := set.Type(r.Intn(set.Len()))
+		arr := now - r.Uniform(0, 10)
+		j := sched.NewJob(i, ty, arr, r.Uniform(20, 120))
+		if j.AbsDeadline <= now {
+			j.AbsDeadline = now + r.Uniform(5, 60)
+		}
+		if r.Float64() < 0.6 {
+			j.Resource = r.Intn(plat.Len())
+			if r.Float64() < 0.6 {
+				j.Started = true
+				j.ExecRes = j.Resource
+				j.Frac = r.Uniform(0.2, 1)
+			}
+		}
+		jobs = append(jobs, j)
+	}
+	if r.Float64() < 0.5 {
+		ty := set.Type(r.Intn(set.Len()))
+		jp := sched.NewJob(n, ty, now+r.Uniform(0, 5), r.Uniform(20, 120))
+		jp.Predicted = true
+		jobs = append(jobs, jp)
+	}
+	return &sched.Problem{Platform: plat, Time: now, Jobs: jobs}
+}
+
+func TestAdmitFallsBackWithoutPrediction(t *testing.T) {
+	// τ1 arriving with a predicted job that makes the joint problem
+	// infeasible: Admit must retry without the prediction and accept.
+	ts := task.Motivational()
+	plat := platform.Motivational()
+	j1 := sched.NewJob(0, ts.Type(0), 0, 5.5) // only GPU fits
+	jp := sched.NewJob(1, ts.Type(1), 0, 3.5) // only GPU fits: conflict
+	jp.Predicted = true
+	p := &sched.Problem{Platform: plat, Time: 0, Jobs: []*sched.Job{j1, jp}}
+
+	d, admitted := Admit(&Heuristic{}, p)
+	if !admitted {
+		t.Fatal("fallback admission failed")
+	}
+	if d.Mapping[0] != 2 {
+		t.Fatalf("τ1 on %d, want GPU", d.Mapping[0])
+	}
+	if d.Mapping[1] != sched.Unmapped {
+		t.Fatalf("dropped prediction still mapped: %v", d.Mapping)
+	}
+}
+
+func TestAdmitRejectsWhenHopeless(t *testing.T) {
+	ts := task.Motivational()
+	plat := platform.Motivational()
+	// Deadline shorter than every WCET: hopeless with or without pred.
+	j1 := sched.NewJob(0, ts.Type(0), 0, 1)
+	p := &sched.Problem{Platform: plat, Time: 0, Jobs: []*sched.Job{j1}}
+	if _, admitted := Admit(&Heuristic{}, p); admitted {
+		t.Fatal("hopeless task admitted")
+	}
+}
+
+func TestAdmitAcceptsDirectly(t *testing.T) {
+	p := motivationalProblem(true)
+	d, admitted := Admit(&Heuristic{}, p)
+	if !admitted || !d.Feasible {
+		t.Fatal("direct admission failed")
+	}
+	if d.Mapping[1] == sched.Unmapped {
+		t.Fatal("prediction dropped although joint solve succeeded")
+	}
+}

@@ -1,0 +1,101 @@
+package exact
+
+import (
+	"testing"
+
+	"predrm/internal/platform"
+	"predrm/internal/rng"
+	"predrm/internal/sched"
+	"predrm/internal/task"
+)
+
+// TestInsertRemoveBookkeeping fuzzes the sorted-entry maintenance the
+// branch-and-bound search depends on: after any interleaving of inserts
+// and removes the per-resource lists must stay sorted (pinned first, then
+// deadline) and the future-release counters exact.
+func TestInsertRemoveBookkeeping(t *testing.T) {
+	plat := platform.Default()
+	o := &Optimal{
+		p:       &sched.Problem{Platform: plat, Time: 10},
+		entries: make([][]sched.Entry, plat.Len()),
+		future:  make([]int, plat.Len()),
+	}
+	r := rng.New(77)
+	type placed struct {
+		res, pos int
+	}
+	var stack []placed
+	for step := 0; step < 5000; step++ {
+		if len(stack) > 0 && (r.Float64() < 0.4 || len(stack) > 30) {
+			// Remove in LIFO order, like the DFS does.
+			top := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			o.remove(top.res, top.pos)
+		} else {
+			res := r.Intn(plat.Len())
+			e := sched.Entry{
+				ReadyAt:  10,
+				Deadline: 10 + r.Uniform(1, 100),
+				Rem:      r.Uniform(0.5, 5),
+			}
+			if r.Float64() < 0.2 {
+				e.ReadyAt = 10 + r.Uniform(0.1, 5) // future release
+			}
+			// One pinned occupant max per resource; only at the front.
+			if !plat.Resource(res).Preemptable() && len(o.entries[res]) == 0 && r.Float64() < 0.3 {
+				e.PinnedFirst = true
+			}
+			pos := o.insert(res, e)
+			stack = append(stack, placed{res, pos})
+		}
+		// Invariants.
+		for res := 0; res < plat.Len(); res++ {
+			futures := 0
+			for i, e := range o.entries[res] {
+				if e.ReadyAt > o.p.Time+sched.Eps {
+					futures++
+				}
+				if i == 0 {
+					continue
+				}
+				prev := o.entries[res][i-1]
+				if prev.PinnedFirst {
+					continue // pinned head precedes everything
+				}
+				if e.PinnedFirst {
+					t.Fatalf("step %d: pinned entry not at the front of resource %d", step, res)
+				}
+				if prev.Deadline > e.Deadline+sched.Eps {
+					t.Fatalf("step %d: resource %d order violated at %d", step, res, i)
+				}
+			}
+			if futures != o.future[res] {
+				t.Fatalf("step %d: future counter %d != actual %d on resource %d",
+					step, o.future[res], futures, res)
+			}
+		}
+	}
+}
+
+// TestSolveReentrant verifies the scratch-state reuse across Solves of
+// different shapes (the same Optimal is reused across a whole trace).
+func TestSolveReentrant(t *testing.T) {
+	plat := platform.Default()
+	set, err := task.Generate(plat, task.DefaultGenConfig(), rng.New(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	o := &Optimal{}
+	r := rng.New(123)
+	for trial := 0; trial < 100; trial++ {
+		p := randomSmallProblem(r, plat, set)
+		d1 := o.Solve(p)
+		d2 := (&Optimal{}).Solve(p) // fresh solver, same problem
+		if d1.Feasible != d2.Feasible {
+			t.Fatalf("trial %d: reused solver feasibility %v vs fresh %v", trial, d1.Feasible, d2.Feasible)
+		}
+		if d1.Feasible && d1.Energy != d2.Energy {
+			t.Fatalf("trial %d: reused solver energy %v vs fresh %v", trial, d1.Energy, d2.Energy)
+		}
+	}
+}

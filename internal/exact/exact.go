@@ -1,0 +1,280 @@
+// Package exact provides the optimal reference resource manager.
+//
+// The paper evaluates its heuristic against a MILP (Sec 4.2) whose only
+// free decisions are the mapping variables x_{j,i}; given a mapping, the
+// schedule is EDF-determined and the objective is a sum of per-assignment
+// energies. Package exact therefore searches the mapping space directly
+// with branch and bound: depth-first over jobs, resources tried in
+// increasing-energy order, partial assignments pruned by per-resource EDF
+// infeasibility (adding work to a resource can never repair it) and by an
+// energy lower bound against the incumbent. The search is seeded with
+// Algorithm 1's solution, so the result is never worse than the heuristic
+// and equals the MILP optimum whenever the node budget is not exhausted.
+//
+// The literal MILP formulation, lowered onto this repository's own
+// simplex/branch-and-bound stack, lives in internal/milpform and is
+// cross-validated against this package.
+package exact
+
+import (
+	"math"
+	"sort"
+
+	"predrm/internal/core"
+	"predrm/internal/sched"
+	"predrm/internal/task"
+)
+
+// DefaultNodeLimit bounds the branch-and-bound tree per solve. Typical
+// activations explore well under a thousand nodes; the limit only guards
+// pathological overload states, where the solver degrades gracefully into
+// an anytime optimiser that still dominates the heuristic.
+const DefaultNodeLimit = 300000
+
+// Stats reports what the last Solve did.
+type Stats struct {
+	// Nodes is the number of branch-and-bound nodes expanded.
+	Nodes int
+	// Truncated reports whether the node budget ran out before the search
+	// space was exhausted; if false the result is the exact optimum.
+	Truncated bool
+}
+
+// Optimal is the exact mapping solver. The zero value is ready to use.
+// An Optimal is not safe for concurrent use: it keeps per-solve state.
+type Optimal struct {
+	// NodeLimit overrides DefaultNodeLimit when positive.
+	NodeLimit int
+	// LastStats describes the most recent Solve call.
+	LastStats Stats
+
+	// Scratch state for the current solve. entries is kept sorted per
+	// resource (pinned occupant first, then non-decreasing deadline) so
+	// feasibility is an allocation-free cumulative scan; future counts the
+	// not-yet-released (predicted) entries per resource, which need the
+	// full EDF simulation instead.
+	p        *sched.Problem
+	order    []int // free job indices in branching order
+	entries  [][]sched.Entry
+	future   []int
+	mapping  []int
+	bestMap  []int
+	bestE    float64
+	found    bool
+	nodes    int
+	limit    int
+	minE     []float64 // per free-job minimum EPM (lower-bound term)
+	sufMinE  []float64 // suffix sums of minE over the branching order
+	resOrder [][]int   // per free job, resources sorted by EPM
+	// cand and candE cache the Entry and energy of assigning the job at
+	// each branching depth to resOrder[depth][k]; they are invariant
+	// during the search.
+	cand  [][]sched.Entry
+	candE [][]float64
+}
+
+// insert places e into resource res's sorted entry list and returns its
+// position for the matching remove.
+func (o *Optimal) insert(res int, e sched.Entry) int {
+	s := o.entries[res]
+	pos := 0
+	if !e.PinnedFirst {
+		lo := 0
+		if len(s) > 0 && s[0].PinnedFirst {
+			lo = 1
+		}
+		pos = lo + sort.Search(len(s)-lo, func(i int) bool {
+			return s[lo+i].Deadline > e.Deadline
+		})
+	}
+	s = append(s, sched.Entry{})
+	copy(s[pos+1:], s[pos:])
+	s[pos] = e
+	o.entries[res] = s
+	if e.ReadyAt > o.p.Time+sched.Eps {
+		o.future[res]++
+	}
+	return pos
+}
+
+// remove undoes insert.
+func (o *Optimal) remove(res, pos int) {
+	s := o.entries[res]
+	if s[pos].ReadyAt > o.p.Time+sched.Eps {
+		o.future[res]--
+	}
+	copy(s[pos:], s[pos+1:])
+	o.entries[res] = s[:len(s)-1]
+}
+
+// feasible checks resource res's current entry list.
+func (o *Optimal) feasible(res int) bool {
+	if o.future[res] == 0 {
+		return sched.FeasibleSorted(o.p.Time, o.entries[res])
+	}
+	return sched.ResourceFeasible(o.p.Platform.Resource(res).Preemptable(), o.p.Time, o.entries[res])
+}
+
+var _ core.Solver = (*Optimal)(nil)
+
+// Solve returns the minimum-energy feasible mapping of p, or an infeasible
+// decision when none exists.
+func (o *Optimal) Solve(p *sched.Problem) core.Decision {
+	o.p = p
+	o.limit = o.NodeLimit
+	if o.limit <= 0 {
+		o.limit = DefaultNodeLimit
+	}
+	o.nodes = 0
+	o.found = false
+	o.bestE = math.Inf(1)
+
+	n := p.Platform.Len()
+	o.mapping = make([]int, len(p.Jobs))
+	if o.entries == nil || len(o.entries) != n {
+		o.entries = make([][]sched.Entry, n)
+		o.future = make([]int, n)
+	}
+	for i := range o.entries {
+		o.entries[i] = o.entries[i][:0]
+		o.future[i] = 0
+	}
+
+	// Pre-assign pinned jobs and collect free ones.
+	free := make([]int, 0, len(p.Jobs))
+	pinnedEnergy := 0.0
+	for idx, j := range p.Jobs {
+		if j.Fixed || j.Pinned(p.Platform) {
+			o.mapping[idx] = j.Resource
+			o.insert(j.Resource, o.entry(idx, j.Resource))
+			pinnedEnergy += j.EPM(j.Resource, p.Policy)
+			continue
+		}
+		o.mapping[idx] = sched.Unmapped
+		free = append(free, idx)
+	}
+	// Pinned-only feasibility: if the immovable work already misses
+	// deadlines nothing can fix it (cannot happen after a sound admission
+	// history, but guard anyway).
+	for r := 0; r < n; r++ {
+		if len(o.entries[r]) > 0 && !o.feasible(r) {
+			o.LastStats = Stats{}
+			return core.Decision{Mapping: o.mapping, Feasible: false}
+		}
+	}
+
+	// Branching order: hardest jobs first — fewest executable resources,
+	// then least slack. Resource order per job: cheapest energy first so
+	// the first dive is a good incumbent.
+	o.prepareOrders(free)
+
+	// Seed the incumbent with the heuristic so exact is never worse and
+	// pruning starts strong.
+	h := (&core.Heuristic{}).Solve(p)
+	if h.Feasible {
+		o.found = true
+		o.bestE = h.Energy
+		o.bestMap = append([]int(nil), h.Mapping...)
+	}
+
+	o.dfs(0, pinnedEnergy)
+
+	o.LastStats = Stats{Nodes: o.nodes, Truncated: o.nodes >= o.limit}
+	if !o.found {
+		return core.Decision{Mapping: o.mapping, Feasible: false}
+	}
+	return core.Decision{Mapping: o.bestMap, Feasible: true, Energy: o.bestE}
+}
+
+func (o *Optimal) entry(jobIdx, r int) sched.Entry {
+	j := o.p.Jobs[jobIdx]
+	return sched.Entry{
+		ReadyAt:     math.Max(j.Arrival, o.p.Time),
+		Deadline:    j.AbsDeadline,
+		Rem:         j.CPM(r, o.p.Policy),
+		PinnedFirst: j.Pinned(o.p.Platform) && j.Resource == r,
+	}
+}
+
+func (o *Optimal) prepareOrders(free []int) {
+	p := o.p
+	n := p.Platform.Len()
+	o.order = append(o.order[:0], free...)
+	sort.SliceStable(o.order, func(a, b int) bool {
+		ja, jb := p.Jobs[o.order[a]], p.Jobs[o.order[b]]
+		ea, eb := ja.Type.NumExecutable(), jb.Type.NumExecutable()
+		if ea != eb {
+			return ea < eb
+		}
+		return ja.TimeLeft(p.Time) < jb.TimeLeft(p.Time)
+	})
+	o.minE = make([]float64, len(o.order))
+	o.resOrder = make([][]int, len(o.order))
+	for k, jobIdx := range o.order {
+		j := p.Jobs[jobIdx]
+		var rs []int
+		for r := 0; r < n; r++ {
+			cpm := j.CPM(r, p.Policy)
+			if cpm == task.NotExecutable {
+				continue
+			}
+			// Constraint (2): resources where the job cannot meet its own
+			// deadline are never part of a feasible mapping.
+			if cpm > j.AbsDeadline-math.Max(j.Arrival, p.Time)+sched.Eps {
+				continue
+			}
+			rs = append(rs, r)
+		}
+		sort.Slice(rs, func(a, b int) bool {
+			return j.EPM(rs[a], p.Policy) < j.EPM(rs[b], p.Policy)
+		})
+		o.resOrder[k] = rs
+		if len(rs) == 0 {
+			o.minE[k] = math.Inf(1)
+		} else {
+			o.minE[k] = j.EPM(rs[0], p.Policy)
+		}
+	}
+	o.cand = make([][]sched.Entry, len(o.order))
+	o.candE = make([][]float64, len(o.order))
+	for k, jobIdx := range o.order {
+		j := p.Jobs[jobIdx]
+		o.cand[k] = make([]sched.Entry, len(o.resOrder[k]))
+		o.candE[k] = make([]float64, len(o.resOrder[k]))
+		for ri, r := range o.resOrder[k] {
+			o.cand[k][ri] = o.entry(jobIdx, r)
+			o.candE[k][ri] = j.EPM(r, p.Policy)
+		}
+	}
+	o.sufMinE = make([]float64, len(o.order)+1)
+	for k := len(o.order) - 1; k >= 0; k-- {
+		o.sufMinE[k] = o.sufMinE[k+1] + o.minE[k]
+	}
+}
+
+func (o *Optimal) dfs(depth int, energy float64) {
+	if o.nodes >= o.limit {
+		return
+	}
+	o.nodes++
+	// Bound: even the cheapest completion cannot beat the incumbent.
+	if energy+o.sufMinE[depth] >= o.bestE-sched.Eps {
+		return
+	}
+	if depth == len(o.order) {
+		o.found = true
+		o.bestE = energy
+		o.bestMap = append(o.bestMap[:0], o.mapping...)
+		return
+	}
+	jobIdx := o.order[depth]
+	for ri, r := range o.resOrder[depth] {
+		pos := o.insert(r, o.cand[depth][ri])
+		if o.feasible(r) {
+			o.mapping[jobIdx] = r
+			o.dfs(depth+1, energy+o.candE[depth][ri])
+			o.mapping[jobIdx] = sched.Unmapped
+		}
+		o.remove(r, pos)
+	}
+}

@@ -1,0 +1,39 @@
+package experiments
+
+import (
+	"testing"
+	"time"
+
+	"predrm/internal/trace"
+)
+
+// TestCalibrationSmoke is a development aid: it reports baseline rejection
+// levels and wall time for the calibrated profile so the interarrival
+// scaling in CalibratedProfile can be justified (see EXPERIMENTS.md).
+func TestCalibrationSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("calibration run")
+	}
+	cfg := DefaultConfig()
+	cfg.Traces = 3
+	cfg.TraceLen = 100
+	start := time.Now()
+	for _, tight := range []trace.Tightness{trace.VeryTight, trace.LessTight} {
+		g, err := runGrid(cfg, tight, []variant{
+			{name: "MILP off", engine: engineExact},
+			{name: "heur off", engine: engineHeuristic},
+			{name: "heur on", engine: engineHeuristic, predict: accurate()},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for v := range g.variants {
+			var sum float64
+			for _, r := range g.results[v] {
+				sum += r.RejPct
+			}
+			t.Logf("%s %-9s rej %.2f%%", tight, g.variants[v].name, sum/float64(len(g.results[v])))
+		}
+	}
+	t.Logf("wall time: %v", time.Since(start))
+}

@@ -1,0 +1,321 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation (Sec 5): the MILP-vs-heuristic comparison (Sec 5.2), the
+// prediction impact bars (Fig 2, Fig 3), the accuracy sweeps (Fig 4), the
+// overhead sweep (Fig 5), and this repository's own ablations. Each
+// experiment returns machine-readable series plus a printable Table whose
+// rows mirror what the paper reports.
+package experiments
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+
+	"predrm/internal/core"
+	"predrm/internal/exact"
+	"predrm/internal/platform"
+	"predrm/internal/predict"
+	"predrm/internal/rng"
+	"predrm/internal/sched"
+	"predrm/internal/sim"
+	"predrm/internal/task"
+	"predrm/internal/trace"
+)
+
+// Profile selects workload-generation parameters.
+type Profile struct {
+	// Name labels output ("paper" or "calibrated").
+	Name string
+	// TaskGen parameterises the task-set generator.
+	TaskGen task.GenConfig
+	// InterarrivalMean/Std parameterise the arrival process.
+	InterarrivalMean, InterarrivalStd float64
+}
+
+// PaperProfile returns the literal Sec 5.1 parameters. Note (DESIGN.md):
+// with these values the offered load exceeds the 5-CPU+1-GPU platform's
+// capacity roughly threefold, so absolute rejection levels sit far above
+// the paper's reported band; relative effects still reproduce.
+func PaperProfile() Profile {
+	return Profile{
+		Name:             "paper",
+		TaskGen:          task.DefaultGenConfig(),
+		InterarrivalMean: 1.2,
+		InterarrivalStd:  0.4,
+	}
+}
+
+// CalibratedProfile keeps the paper's task parameters but scales the mean
+// interarrival so the no-prediction baseline lands in the paper's 24-31%
+// rejection band (see EXPERIMENTS.md for the calibration run).
+func CalibratedProfile() Profile {
+	return Profile{
+		Name:             "calibrated",
+		TaskGen:          task.DefaultGenConfig(),
+		InterarrivalMean: 2.2,
+		InterarrivalStd:  0.7,
+	}
+}
+
+// Config drives one experiment run.
+type Config struct {
+	// Seed makes the whole experiment deterministic.
+	Seed uint64
+	// Traces per tightness group (paper: 500).
+	Traces int
+	// TraceLen requests per trace (paper: 500).
+	TraceLen int
+	// Profile selects workload parameters.
+	Profile Profile
+	// ExactNodeLimit caps the reference solver's search per activation
+	// (0 = exact.DefaultNodeLimit). The solver stays anytime-optimal and
+	// never returns worse than the heuristic when truncated.
+	ExactNodeLimit int
+	// Workers bounds concurrent trace simulations (0 = GOMAXPROCS).
+	Workers int
+}
+
+// DefaultConfig returns a laptop-scale configuration: large enough for the
+// paper's qualitative shapes, small enough to run all experiments in
+// minutes. Scale Traces/TraceLen up to the paper's 500x500 via cmd flags.
+func DefaultConfig() Config {
+	return Config{
+		Seed:     1,
+		Traces:   30,
+		TraceLen: 200,
+		Profile:  CalibratedProfile(),
+	}
+}
+
+// Validate checks the configuration.
+func (c *Config) Validate() error {
+	switch {
+	case c.Traces <= 0:
+		return errors.New("experiments: Traces must be positive")
+	case c.TraceLen <= 0:
+		return errors.New("experiments: TraceLen must be positive")
+	case c.Profile.TaskGen.NumTypes <= 0:
+		return errors.New("experiments: profile has no task generator")
+	case c.Profile.InterarrivalMean <= 0:
+		return errors.New("experiments: profile interarrival must be positive")
+	case c.ExactNodeLimit < 0 || c.Workers < 0:
+		return errors.New("experiments: negative limit")
+	}
+	return nil
+}
+
+// engine names a mapping solver.
+type engine int
+
+const (
+	engineExact engine = iota // the paper's "MILP" reference
+	engineHeuristic
+	engineGreedy // ablation A1
+)
+
+func (e engine) String() string {
+	switch e {
+	case engineExact:
+		return "MILP"
+	case engineHeuristic:
+		return "heuristic"
+	case engineGreedy:
+		return "greedy"
+	default:
+		return fmt.Sprintf("engine(%d)", int(e))
+	}
+}
+
+// variant is one simulated configuration of a trace.
+type variant struct {
+	// name labels columns.
+	name string
+	// engine selects the solver.
+	engine engine
+	// predict enables the oracle with the given degradation; nil = off.
+	predict *predict.OracleConfig
+	// overheadCoeff, when non-zero, sets the oracle overhead to
+	// coeff x the trace's mean interarrival (Fig 5).
+	overheadCoeff float64
+	// policy selects migration charging.
+	policy sched.MigrationPolicy
+	// online, when non-nil, builds an online predictor instead of the
+	// oracle (ablation A3).
+	online func(numTypes int) predict.Predictor
+	// lookahead sets the forecast horizon (extension X1); 0 = paper's
+	// single-step behaviour.
+	lookahead int
+	// solver, when non-nil, overrides engine with a custom solver built
+	// from the task set (the quasi-static baseline needs its design-time
+	// table).
+	solver func(set *task.Set) core.Solver
+}
+
+// traceResult is one (trace, variant) outcome.
+type traceResult struct {
+	RejPct    float64
+	Energy    float64
+	Accepted  int
+	Misses    int
+	Truncated bool
+}
+
+// grid holds results indexed [variant][trace].
+type grid struct {
+	variants []variant
+	results  [][]traceResult
+}
+
+func (g *grid) column(v int, f func(traceResult) float64) []float64 {
+	out := make([]float64, len(g.results[v]))
+	for i, r := range g.results[v] {
+		out[i] = f(r)
+	}
+	return out
+}
+
+func (g *grid) rejections(v int) []float64 {
+	return g.column(v, func(r traceResult) float64 { return r.RejPct })
+}
+
+func (g *grid) energies(v int) []float64 {
+	return g.column(v, func(r traceResult) float64 { return r.Energy })
+}
+
+func (g *grid) misses() int {
+	n := 0
+	for _, col := range g.results {
+		for _, r := range col {
+			n += r.Misses
+		}
+	}
+	return n
+}
+
+// newSolver builds a fresh solver per simulation (solvers keep scratch
+// state and are not safe for concurrent sharing).
+func (c *Config) newSolver(e engine) core.Solver {
+	switch e {
+	case engineExact:
+		return &exact.Optimal{NodeLimit: c.ExactNodeLimit}
+	case engineGreedy:
+		return &core.Heuristic{Greedy: true}
+	default:
+		return &core.Heuristic{}
+	}
+}
+
+// runGrid simulates every variant over the same Traces traces of the given
+// tightness group. Trace workloads and oracle corruption are deterministic
+// in cfg.Seed; variants see identical traces (paired comparisons).
+func runGrid(cfg Config, tight trace.Tightness, variants []variant) (*grid, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	plat := platform.Default()
+	root := rng.New(cfg.Seed ^ uint64(0x9e37+tight))
+	set, err := task.Generate(plat, cfg.Profile.TaskGen, root.Split())
+	if err != nil {
+		return nil, err
+	}
+	gcfg := trace.GenConfig{
+		Length:           cfg.TraceLen,
+		InterarrivalMean: cfg.Profile.InterarrivalMean,
+		InterarrivalStd:  cfg.Profile.InterarrivalStd,
+		Tightness:        tight,
+	}
+	traces, err := trace.GenerateGroup(set, gcfg, cfg.Traces, root.Split())
+	if err != nil {
+		return nil, err
+	}
+
+	g := &grid{variants: variants, results: make([][]traceResult, len(variants))}
+	for v := range variants {
+		g.results[v] = make([]traceResult, len(traces))
+	}
+
+	workers := cfg.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	type job struct{ t, v int }
+	jobs := make(chan job)
+	errs := make(chan error, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for jb := range jobs {
+				res, err := runOne(cfg, plat, set, traces[jb.t], uint64(jb.t), variants[jb.v])
+				if err != nil {
+					select {
+					case errs <- err:
+					default:
+					}
+					continue
+				}
+				g.results[jb.v][jb.t] = res
+			}
+		}()
+	}
+	for ti := range traces {
+		for vi := range variants {
+			jobs <- job{ti, vi}
+		}
+	}
+	close(jobs)
+	wg.Wait()
+	select {
+	case err := <-errs:
+		return nil, err
+	default:
+	}
+	return g, nil
+}
+
+// runOne simulates a single (trace, variant) cell.
+func runOne(cfg Config, plat *platform.Platform, set *task.Set, tr *trace.Trace, traceSeed uint64, v variant) (traceResult, error) {
+	scfg := sim.Config{
+		Platform:  plat,
+		TaskSet:   set,
+		Solver:    cfg.newSolver(v.engine),
+		Policy:    v.policy,
+		Lookahead: v.lookahead,
+	}
+	if v.solver != nil {
+		scfg.Solver = v.solver(set)
+	}
+	switch {
+	case v.online != nil:
+		scfg.Predictor = v.online(set.Len())
+	case v.predict != nil:
+		ocfg := *v.predict
+		ocfg.NumTypes = set.Len()
+		ocfg.Seed = cfg.Seed*1_000_003 + traceSeed
+		if v.overheadCoeff > 0 {
+			ocfg.Overhead = v.overheadCoeff * tr.MeanInterarrival()
+		}
+		o, err := predict.NewOracle(tr, ocfg)
+		if err != nil {
+			return traceResult{}, err
+		}
+		scfg.Predictor = o
+	}
+	res, err := sim.Run(scfg, tr)
+	if err != nil {
+		return traceResult{}, err
+	}
+	return traceResult{
+		RejPct:   res.RejectionPct(),
+		Energy:   res.TotalEnergy,
+		Accepted: res.Accepted,
+		Misses:   res.DeadlineMisses,
+	}, nil
+}
+
+// accurate returns the perfect-prediction oracle configuration.
+func accurate() *predict.OracleConfig {
+	return &predict.OracleConfig{TypeAccuracy: 1, TimeError: 0}
+}

@@ -1,0 +1,296 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"predrm/internal/trace"
+)
+
+func smallConfig() Config {
+	cfg := DefaultConfig()
+	cfg.Traces = 3
+	cfg.TraceLen = 60
+	return cfg
+}
+
+func TestConfigValidate(t *testing.T) {
+	good := DefaultConfig()
+	if err := good.Validate(); err != nil {
+		t.Fatalf("default config invalid: %v", err)
+	}
+	bad := []Config{
+		{},
+		{Traces: 1},
+		{Traces: 1, TraceLen: 1},
+		{Traces: 1, TraceLen: 1, Profile: Profile{TaskGen: PaperProfile().TaskGen}},
+		func() Config { c := DefaultConfig(); c.Workers = -1; return c }(),
+	}
+	for i, c := range bad {
+		if err := c.Validate(); err == nil {
+			t.Errorf("case %d: accepted invalid config", i)
+		}
+	}
+}
+
+func TestProfiles(t *testing.T) {
+	p := PaperProfile()
+	if p.InterarrivalMean != 1.2 || p.InterarrivalStd != 0.4 {
+		t.Fatalf("paper profile = %+v", p)
+	}
+	c := CalibratedProfile()
+	if c.InterarrivalMean <= p.InterarrivalMean {
+		t.Fatal("calibrated profile should lower the offered load")
+	}
+	if p.TaskGen.NumTypes != 100 {
+		t.Fatal("paper profile should use 100 task types")
+	}
+}
+
+func TestMotivational(t *testing.T) {
+	r, err := Motivational()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r.NoPredMapsGPU || !r.NoPredRejectsTau2 || !r.PredMapsCPU1 {
+		t.Fatalf("motivational narrative not reproduced: %+v", r)
+	}
+	if r.PredEnergy != 8.8 {
+		t.Fatalf("scenario (b) energy %v, want 8.8", r.PredEnergy)
+	}
+	var buf bytes.Buffer
+	if err := r.Table.Fprint(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "8.8 J") || strings.Contains(out, "NO") {
+		t.Fatalf("table output wrong:\n%s", out)
+	}
+}
+
+func TestMILPvsHeuristicSmall(t *testing.T) {
+	r, err := MILPvsHeuristic(smallConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The exact engine must not reject more than the heuristic on average
+	// (its per-decision dominance makes this overwhelmingly likely even on
+	// small samples).
+	if r.RejExact.Mean > r.RejHeuristic.Mean+2 {
+		t.Fatalf("exact rejection %.2f far above heuristic %.2f", r.RejExact.Mean, r.RejHeuristic.Mean)
+	}
+	if r.ExactWinRate < 0.5 {
+		t.Fatalf("exact win rate %.2f suspiciously low", r.ExactWinRate)
+	}
+	if len(r.Table.Rows) != 2 {
+		t.Fatalf("table rows = %d", len(r.Table.Rows))
+	}
+}
+
+func TestPredictionImpactSmall(t *testing.T) {
+	for _, tight := range []trace.Tightness{trace.VeryTight, trace.LessTight} {
+		r, err := PredictionImpact(smallConfig(), tight)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Normalized energy: the maximum must be exactly 1.
+		max := 0.0
+		for _, v := range r.NormalizedEnergy {
+			if v > max {
+				max = v
+			}
+		}
+		if max != 1 {
+			t.Fatalf("%v: normalized energies %v", tight, r.NormalizedEnergy)
+		}
+		// Prediction with a perfect oracle must not be dramatically worse
+		// than off for the same engine.
+		if r.Rejection[0].Mean > r.Rejection[1].Mean+5 {
+			t.Fatalf("%v: MILP on %.2f much worse than off %.2f", tight, r.Rejection[0].Mean, r.Rejection[1].Mean)
+		}
+		var buf bytes.Buffer
+		if err := r.RejectionTable.Fprint(&buf); err != nil {
+			t.Fatal(err)
+		}
+		if err := r.EnergyTable.Fprint(&buf); err != nil {
+			t.Fatal(err)
+		}
+		if !strings.Contains(buf.String(), "MILP on") {
+			t.Fatal("table missing MILP on row")
+		}
+	}
+}
+
+func TestFig4aSmall(t *testing.T) {
+	r, err := Fig4a(smallConfig(), []float64{0.25, 1.0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.RejExact) != 2 || len(r.RejHeuristic) != 2 {
+		t.Fatalf("sweep sizes wrong: %+v", r)
+	}
+	// Perfect accuracy should not reject more than degraded accuracy by a
+	// wide margin (noise allowance on tiny samples).
+	if r.RejHeuristic[1].Mean > r.RejHeuristic[0].Mean+5 {
+		t.Fatalf("accuracy 1.0 (%.2f) much worse than 0.25 (%.2f)",
+			r.RejHeuristic[1].Mean, r.RejHeuristic[0].Mean)
+	}
+}
+
+func TestFig4bSmall(t *testing.T) {
+	r, err := Fig4b(smallConfig(), []float64{0.5, 1.0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.X) != 2 {
+		t.Fatal("sweep axis wrong")
+	}
+	var buf bytes.Buffer
+	if err := r.Table.Fprint(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "off") {
+		t.Fatal("table missing off baseline")
+	}
+}
+
+func TestFig5Small(t *testing.T) {
+	r, err := Fig5(smallConfig(), []float64{0, 0.08})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Large overhead must hurt relative to zero overhead.
+	if r.RejHeuristic[1].Mean+1e-9 < r.RejHeuristic[0].Mean {
+		t.Fatalf("overhead 8%% (%.2f) did not hurt vs 0%% (%.2f)",
+			r.RejHeuristic[1].Mean, r.RejHeuristic[0].Mean)
+	}
+}
+
+func TestAblationsSmall(t *testing.T) {
+	if _, err := AblationRegret(smallConfig()); err != nil {
+		t.Fatal(err)
+	}
+	r, err := AblationMigration(smallConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Labels[0] != "charge-started-only" {
+		t.Fatalf("labels = %v", r.Labels)
+	}
+}
+
+func TestOnlinePredictorsSmall(t *testing.T) {
+	r, err := OnlinePredictors(smallConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Labels) != 4 || len(r.Rej) != 4 {
+		t.Fatalf("result shape wrong: %+v", r.Labels)
+	}
+}
+
+func TestLookaheadSweepSmall(t *testing.T) {
+	r, err := LookaheadSweep(smallConfig(), []int{1, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Horizons) != 3 || r.Horizons[0] != 0 || r.Horizons[2] != 2 {
+		t.Fatalf("horizons = %v", r.Horizons)
+	}
+	if len(r.Rej) != 3 || len(r.Delta) != 3 {
+		t.Fatalf("result shape wrong")
+	}
+	var buf bytes.Buffer
+	if err := r.Table.Fprint(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "k=2") {
+		t.Fatal("table missing k=2 row")
+	}
+}
+
+func TestRunGridDeterminism(t *testing.T) {
+	cfg := smallConfig()
+	run := func() []float64 {
+		g, err := runGrid(cfg, trace.VeryTight, []variant{
+			{name: "heur on", engine: engineHeuristic, predict: accurate()},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return g.rejections(0)
+	}
+	a, b := run(), run()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("grid not deterministic at trace %d: %v vs %v", i, a[i], b[i])
+		}
+	}
+}
+
+func TestTableFprint(t *testing.T) {
+	tbl := &Table{
+		Title:  "T",
+		Header: []string{"name", "v"},
+		Notes:  []string{"n1"},
+	}
+	tbl.AddRow("a", "1.00")
+	tbl.AddRow("bbbb", "22.00")
+	var buf bytes.Buffer
+	if err := tbl.Fprint(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"T\n", "name", "bbbb", "22.00", "note: n1"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestBaselineStaticSmall(t *testing.T) {
+	r, err := BaselineStatic(smallConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Labels) != 3 || r.Labels[0] != "quasi-static" {
+		t.Fatalf("labels = %v", r.Labels)
+	}
+	// The exact dynamic RM must not reject more than the no-remap baseline
+	// (beyond small-sample noise).
+	if r.Rej[2].Mean > r.Rej[0].Mean+3 {
+		t.Fatalf("MILP %.2f%% rejects more than quasi-static %.2f%%", r.Rej[2].Mean, r.Rej[0].Mean)
+	}
+}
+
+func TestLoadSurfaceSmall(t *testing.T) {
+	cfg := smallConfig()
+	r, err := LoadSurface(cfg, []float64{2.0, 8.0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.RejHeurVT) != 2 {
+		t.Fatalf("surface size wrong: %+v", r)
+	}
+	// Lower load must not reject more (allowing small-sample noise).
+	if r.RejHeurVT[1].Mean > r.RejHeurVT[0].Mean+3 {
+		t.Fatalf("rejection did not fall with load: %.2f at ia=2 vs %.2f at ia=8",
+			r.RejHeurVT[0].Mean, r.RejHeurVT[1].Mean)
+	}
+}
+
+func TestTableWriteCSV(t *testing.T) {
+	tbl := &Table{Title: "T", Header: []string{"a", "b"}, Notes: []string{"n"}}
+	tbl.AddRow("x", "1")
+	var buf bytes.Buffer
+	if err := tbl.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"# T", "a,b", "x,1", "# n"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("CSV missing %q:\n%s", want, out)
+		}
+	}
+}

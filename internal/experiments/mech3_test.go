@@ -1,0 +1,34 @@
+package experiments
+
+import (
+	"testing"
+
+	"predrm/internal/trace"
+)
+
+// TestMechanismEngines (dev aid): prediction benefit per engine at the
+// calibrated load.
+func TestMechanismEngines(t *testing.T) {
+	if testing.Short() {
+		t.Skip("dev aid")
+	}
+	cfg := DefaultConfig()
+	cfg.Traces = 4
+	cfg.TraceLen = 120
+	g, err := runGrid(cfg, trace.VeryTight, []variant{
+		{name: "MILP off", engine: engineExact},
+		{name: "MILP on", engine: engineExact, predict: accurate()},
+		{name: "heur off", engine: engineHeuristic},
+		{name: "heur on", engine: engineHeuristic, predict: accurate()},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v := range g.variants {
+		var sum float64
+		for _, r := range g.results[v] {
+			sum += r.RejPct
+		}
+		t.Logf("%-9s rej %.2f%%", g.variants[v].name, sum/float64(len(g.results[v])))
+	}
+}

@@ -1,0 +1,342 @@
+// Package lp implements a dense two-phase primal simplex solver for linear
+// programs in the form
+//
+//	minimize    cᵀx
+//	subject to  a_iᵀx {≤,=,≥} b_i,   x ≥ 0.
+//
+// It exists because this repository must encode the paper's MILP
+// formulation (Sec 4.2) without any external solver: internal/milp adds
+// branch and bound on top, and internal/milpform lowers the paper's
+// constraints onto it. The implementation favours clarity and numerical
+// robustness (Bland's anti-cycling rule, explicit tolerances) over speed;
+// problem sizes here are tens of variables.
+package lp
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Sense is a constraint relation.
+type Sense int
+
+const (
+	// LE is a_iᵀx ≤ b_i.
+	LE Sense = iota
+	// GE is a_iᵀx ≥ b_i.
+	GE
+	// EQ is a_iᵀx = b_i.
+	EQ
+)
+
+// String returns the relation symbol.
+func (s Sense) String() string {
+	switch s {
+	case LE:
+		return "<="
+	case GE:
+		return ">="
+	case EQ:
+		return "=="
+	default:
+		return fmt.Sprintf("Sense(%d)", int(s))
+	}
+}
+
+// Constraint is one linear constraint. Coeffs is indexed by variable and
+// may be shorter than the problem's variable count (missing entries are
+// zero).
+type Constraint struct {
+	Coeffs []float64
+	Sense  Sense
+	RHS    float64
+}
+
+// Problem is a linear program over NumVars non-negative variables.
+type Problem struct {
+	NumVars     int
+	Objective   []float64 // minimized; may be shorter than NumVars
+	Constraints []Constraint
+}
+
+// Validate checks structural sanity.
+func (p *Problem) Validate() error {
+	if p.NumVars <= 0 {
+		return errors.New("lp: NumVars must be positive")
+	}
+	if len(p.Objective) > p.NumVars {
+		return fmt.Errorf("lp: objective has %d coefficients for %d variables", len(p.Objective), p.NumVars)
+	}
+	for i, c := range p.Constraints {
+		if len(c.Coeffs) > p.NumVars {
+			return fmt.Errorf("lp: constraint %d has %d coefficients for %d variables", i, len(c.Coeffs), p.NumVars)
+		}
+		if c.Sense != LE && c.Sense != GE && c.Sense != EQ {
+			return fmt.Errorf("lp: constraint %d has unknown sense", i)
+		}
+		for _, v := range c.Coeffs {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				return fmt.Errorf("lp: constraint %d has non-finite coefficient", i)
+			}
+		}
+		if math.IsNaN(c.RHS) || math.IsInf(c.RHS, 0) {
+			return fmt.Errorf("lp: constraint %d has non-finite RHS", i)
+		}
+	}
+	return nil
+}
+
+// Status classifies a solve outcome.
+type Status int
+
+const (
+	// Optimal: an optimal basic feasible solution was found.
+	Optimal Status = iota
+	// Infeasible: the constraint set is empty.
+	Infeasible
+	// Unbounded: the objective decreases without bound.
+	Unbounded
+)
+
+// String names the status.
+func (s Status) String() string {
+	switch s {
+	case Optimal:
+		return "optimal"
+	case Infeasible:
+		return "infeasible"
+	case Unbounded:
+		return "unbounded"
+	default:
+		return fmt.Sprintf("Status(%d)", int(s))
+	}
+}
+
+// Solution is the result of a solve.
+type Solution struct {
+	Status    Status
+	X         []float64 // variable values when Optimal
+	Objective float64   // cᵀx when Optimal
+}
+
+const (
+	tol      = 1e-9
+	maxIters = 200000
+)
+
+// tableau is a dense simplex tableau in equality form.
+type tableau struct {
+	rows, cols int // cols excludes the RHS column
+	a          [][]float64
+	rhs        []float64
+	basis      []int
+}
+
+// Solve minimizes the problem with the two-phase primal simplex method.
+func Solve(p *Problem) (Solution, error) {
+	if err := p.Validate(); err != nil {
+		return Solution{}, err
+	}
+	m := len(p.Constraints)
+	n := p.NumVars
+
+	// Count auxiliary columns.
+	slacks := 0
+	for _, c := range p.Constraints {
+		if c.Sense != EQ {
+			slacks++
+		}
+	}
+	// One artificial per row keeps the construction simple; unneeded ones
+	// (rows whose slack can serve as basis) are skipped below.
+	t := &tableau{rows: m}
+	t.cols = n + slacks + m
+	t.a = make([][]float64, m)
+	t.rhs = make([]float64, m)
+	t.basis = make([]int, m)
+
+	artStart := n + slacks
+	numArt := 0
+	slackIdx := n
+	for i, c := range p.Constraints {
+		row := make([]float64, t.cols)
+		for j, v := range c.Coeffs {
+			row[j] = v
+		}
+		rhs := c.RHS
+		sense := c.Sense
+		if rhs < 0 {
+			for j := range row {
+				row[j] = -row[j]
+			}
+			rhs = -rhs
+			switch sense {
+			case LE:
+				sense = GE
+			case GE:
+				sense = LE
+			}
+		}
+		switch sense {
+		case LE:
+			row[slackIdx] = 1
+			t.basis[i] = slackIdx
+			slackIdx++
+		case GE:
+			row[slackIdx] = -1
+			slackIdx++
+			row[artStart+numArt] = 1
+			t.basis[i] = artStart + numArt
+			numArt++
+		case EQ:
+			row[artStart+numArt] = 1
+			t.basis[i] = artStart + numArt
+			numArt++
+		}
+		t.a[i] = row
+		t.rhs[i] = rhs
+	}
+	t.cols = artStart + numArt
+	for i := range t.a {
+		t.a[i] = t.a[i][:t.cols]
+	}
+
+	// Phase 1: minimize the sum of artificials.
+	if numArt > 0 {
+		phase1 := make([]float64, t.cols)
+		for j := artStart; j < t.cols; j++ {
+			phase1[j] = 1
+		}
+		status, err := t.optimize(phase1, artStart)
+		if err != nil {
+			return Solution{}, err
+		}
+		if status == Unbounded {
+			return Solution{}, errors.New("lp: phase 1 unbounded (internal error)")
+		}
+		if t.objectiveValue(phase1) > 1e-7 {
+			return Solution{Status: Infeasible}, nil
+		}
+		// Drive remaining artificials out of the basis where possible.
+		for i := 0; i < m; i++ {
+			if t.basis[i] < artStart {
+				continue
+			}
+			// If no structural column can replace it the row is redundant;
+			// the artificial then stays basic at zero, which is harmless
+			// because artificials are barred from re-entering in phase 2.
+			for j := 0; j < artStart; j++ {
+				if math.Abs(t.a[i][j]) > tol {
+					t.pivot(i, j)
+					break
+				}
+			}
+		}
+	}
+
+	// Phase 2: original objective, artificial columns barred.
+	obj := make([]float64, t.cols)
+	for j, v := range p.Objective {
+		obj[j] = v
+	}
+	status, err := t.optimize(obj, artStart)
+	if err != nil {
+		return Solution{}, err
+	}
+	if status == Unbounded {
+		return Solution{Status: Unbounded}, nil
+	}
+	x := make([]float64, n)
+	for i, b := range t.basis {
+		if b < n {
+			x[b] = t.rhs[i]
+		}
+	}
+	val := 0.0
+	for j, v := range p.Objective {
+		val += v * x[j]
+	}
+	return Solution{Status: Optimal, X: x, Objective: val}, nil
+}
+
+// objectiveValue computes cᵀx_B for the current basis.
+func (t *tableau) objectiveValue(c []float64) float64 {
+	v := 0.0
+	for i, b := range t.basis {
+		v += c[b] * t.rhs[i]
+	}
+	return v
+}
+
+// optimize runs primal simplex for cost vector c. Columns ≥ barFrom may
+// not enter the basis (used to bar artificials in phase 2).
+func (t *tableau) optimize(c []float64, barFrom int) (Status, error) {
+	for iter := 0; iter < maxIters; iter++ {
+		// Reduced costs: r_j = c_j − c_Bᵀ B⁻¹ A_j. In tableau form the
+		// rows already hold B⁻¹A, so r_j = c_j − Σ_i c_{basis_i} a_{i,j}.
+		// Artificial columns (index ≥ barFrom) may never (re-)enter: once
+		// driven out they are conceptually deleted.
+		enter := -1
+		for j := 0; j < barFrom && enter == -1; j++ {
+			r := c[j]
+			for i, b := range t.basis {
+				if cb := c[b]; cb != 0 {
+					r -= cb * t.a[i][j]
+				}
+			}
+			if r < -tol {
+				enter = j // Bland: first improving index
+			}
+		}
+		if enter == -1 {
+			return Optimal, nil
+		}
+		// Ratio test (Bland ties: smallest basis variable index).
+		leave := -1
+		best := math.Inf(1)
+		for i := 0; i < t.rows; i++ {
+			if t.a[i][enter] > tol {
+				ratio := t.rhs[i] / t.a[i][enter]
+				if ratio < best-tol || (ratio < best+tol && (leave == -1 || t.basis[i] < t.basis[leave])) {
+					best = ratio
+					leave = i
+				}
+			}
+		}
+		if leave == -1 {
+			return Unbounded, nil
+		}
+		t.pivot(leave, enter)
+	}
+	return 0, errors.New("lp: iteration limit exceeded")
+}
+
+// pivot makes column enter basic in row leave.
+func (t *tableau) pivot(leave, enter int) {
+	piv := t.a[leave][enter]
+	inv := 1 / piv
+	for j := 0; j < t.cols; j++ {
+		t.a[leave][j] *= inv
+	}
+	t.rhs[leave] *= inv
+	t.a[leave][enter] = 1 // exact
+	for i := 0; i < t.rows; i++ {
+		if i == leave {
+			continue
+		}
+		f := t.a[i][enter]
+		if f == 0 {
+			continue
+		}
+		for j := 0; j < t.cols; j++ {
+			t.a[i][j] -= f * t.a[leave][j]
+		}
+		t.a[i][enter] = 0 // exact
+		t.rhs[i] -= f * t.rhs[leave]
+		if t.rhs[i] < 0 && t.rhs[i] > -1e-11 {
+			t.rhs[i] = 0
+		}
+	}
+	t.basis[leave] = enter
+}

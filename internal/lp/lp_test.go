@@ -1,0 +1,337 @@
+package lp
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"predrm/internal/rng"
+)
+
+func solveOK(t *testing.T, p *Problem) Solution {
+	t.Helper()
+	s, err := Solve(p)
+	if err != nil {
+		t.Fatalf("Solve: %v", err)
+	}
+	return s
+}
+
+func TestSimpleMaximizationAsMin(t *testing.T) {
+	// max 3x + 2y s.t. x+y ≤ 4, x+3y ≤ 6  → min −3x −2y; optimum x=4,y=0.
+	p := &Problem{
+		NumVars:   2,
+		Objective: []float64{-3, -2},
+		Constraints: []Constraint{
+			{Coeffs: []float64{1, 1}, Sense: LE, RHS: 4},
+			{Coeffs: []float64{1, 3}, Sense: LE, RHS: 6},
+		},
+	}
+	s := solveOK(t, p)
+	if s.Status != Optimal {
+		t.Fatalf("status %v", s.Status)
+	}
+	if math.Abs(s.Objective-(-12)) > 1e-7 || math.Abs(s.X[0]-4) > 1e-7 {
+		t.Fatalf("got obj %v x %v", s.Objective, s.X)
+	}
+}
+
+func TestEqualityAndGE(t *testing.T) {
+	// min x + y s.t. x + y = 2, x ≥ 0.5 → obj 2.
+	p := &Problem{
+		NumVars:   2,
+		Objective: []float64{1, 1},
+		Constraints: []Constraint{
+			{Coeffs: []float64{1, 1}, Sense: EQ, RHS: 2},
+			{Coeffs: []float64{1, 0}, Sense: GE, RHS: 0.5},
+		},
+	}
+	s := solveOK(t, p)
+	if s.Status != Optimal || math.Abs(s.Objective-2) > 1e-7 {
+		t.Fatalf("got %v obj %v", s.Status, s.Objective)
+	}
+	if s.X[0] < 0.5-1e-7 {
+		t.Fatalf("x = %v violates x ≥ 0.5", s.X[0])
+	}
+}
+
+func TestInfeasible(t *testing.T) {
+	p := &Problem{
+		NumVars:   1,
+		Objective: []float64{1},
+		Constraints: []Constraint{
+			{Coeffs: []float64{1}, Sense: LE, RHS: 1},
+			{Coeffs: []float64{1}, Sense: GE, RHS: 2},
+		},
+	}
+	s := solveOK(t, p)
+	if s.Status != Infeasible {
+		t.Fatalf("status %v, want infeasible", s.Status)
+	}
+}
+
+func TestUnbounded(t *testing.T) {
+	p := &Problem{
+		NumVars:   1,
+		Objective: []float64{-1}, // min −x, x ≥ 0 unconstrained above
+	}
+	s := solveOK(t, p)
+	if s.Status != Unbounded {
+		t.Fatalf("status %v, want unbounded", s.Status)
+	}
+}
+
+func TestNegativeRHSNormalisation(t *testing.T) {
+	// −x ≤ −2  ⇔  x ≥ 2; min x → 2.
+	p := &Problem{
+		NumVars:   1,
+		Objective: []float64{1},
+		Constraints: []Constraint{
+			{Coeffs: []float64{-1}, Sense: LE, RHS: -2},
+		},
+	}
+	s := solveOK(t, p)
+	if s.Status != Optimal || math.Abs(s.Objective-2) > 1e-7 {
+		t.Fatalf("got %v obj %v", s.Status, s.Objective)
+	}
+}
+
+func TestDegenerateCycleGuard(t *testing.T) {
+	// Beale's classic cycling example (with standard pivoting); Bland's
+	// rule must terminate at the optimum −0.05.
+	p := &Problem{
+		NumVars:   4,
+		Objective: []float64{-0.75, 150, -0.02, 6},
+		Constraints: []Constraint{
+			{Coeffs: []float64{0.25, -60, -0.04, 9}, Sense: LE, RHS: 0},
+			{Coeffs: []float64{0.5, -90, -0.02, 3}, Sense: LE, RHS: 0},
+			{Coeffs: []float64{0, 0, 1, 0}, Sense: LE, RHS: 1},
+		},
+	}
+	s := solveOK(t, p)
+	if s.Status != Optimal || math.Abs(s.Objective-(-0.05)) > 1e-7 {
+		t.Fatalf("got %v obj %v, want optimal -0.05", s.Status, s.Objective)
+	}
+}
+
+func TestRedundantEquality(t *testing.T) {
+	// Duplicated equality rows create a redundant artificial.
+	p := &Problem{
+		NumVars:   2,
+		Objective: []float64{1, 2},
+		Constraints: []Constraint{
+			{Coeffs: []float64{1, 1}, Sense: EQ, RHS: 3},
+			{Coeffs: []float64{2, 2}, Sense: EQ, RHS: 6},
+		},
+	}
+	s := solveOK(t, p)
+	if s.Status != Optimal || math.Abs(s.Objective-3) > 1e-7 {
+		t.Fatalf("got %v obj %v, want 3 (x=3,y=0)", s.Status, s.Objective)
+	}
+}
+
+func TestValidateRejects(t *testing.T) {
+	bad := []*Problem{
+		{NumVars: 0},
+		{NumVars: 1, Objective: []float64{1, 2}},
+		{NumVars: 1, Constraints: []Constraint{{Coeffs: []float64{1, 2}}}},
+		{NumVars: 1, Constraints: []Constraint{{Coeffs: []float64{1}, Sense: Sense(9)}}},
+		{NumVars: 1, Constraints: []Constraint{{Coeffs: []float64{math.NaN()}}}},
+		{NumVars: 1, Constraints: []Constraint{{Coeffs: []float64{1}, RHS: math.Inf(1)}}},
+	}
+	for i, p := range bad {
+		if _, err := Solve(p); err == nil {
+			t.Errorf("case %d: Solve accepted invalid problem", i)
+		}
+	}
+}
+
+func TestStatusAndSenseStrings(t *testing.T) {
+	if Optimal.String() != "optimal" || Infeasible.String() != "infeasible" || Unbounded.String() != "unbounded" {
+		t.Fatal("status strings wrong")
+	}
+	if !strings.HasPrefix(Status(9).String(), "Status(") {
+		t.Fatal("unknown status string")
+	}
+	if LE.String() != "<=" || GE.String() != ">=" || EQ.String() != "==" {
+		t.Fatal("sense strings wrong")
+	}
+	if !strings.HasPrefix(Sense(9).String(), "Sense(") {
+		t.Fatal("unknown sense string")
+	}
+}
+
+// bruteForceVertex enumerates basic solutions of small problems by solving
+// every square subsystem (via Gaussian elimination) and returns the best
+// feasible objective — an independent check of simplex optimality.
+func bruteForceVertex(p *Problem) (float64, bool) {
+	// Build equality system with slacks: A x = b over n + s variables.
+	type row struct {
+		coeffs []float64
+		rhs    float64
+	}
+	n := p.NumVars
+	var rows []row
+	slack := 0
+	for _, c := range p.Constraints {
+		if c.Sense != EQ {
+			slack++
+		}
+	}
+	total := n + slack
+	si := 0
+	for _, c := range p.Constraints {
+		r := row{coeffs: make([]float64, total), rhs: c.RHS}
+		copy(r.coeffs, c.Coeffs)
+		switch c.Sense {
+		case LE:
+			r.coeffs[n+si] = 1
+			si++
+		case GE:
+			r.coeffs[n+si] = -1
+			si++
+		}
+		rows = append(rows, r)
+	}
+	m := len(rows)
+	best := math.Inf(1)
+	found := false
+	// Choose m basic columns out of total.
+	var choose func(start int, cols []int)
+	feasCheck := func(cols []int) {
+		// Solve the m x m system for basic values; others zero.
+		a := make([][]float64, m)
+		for i := range a {
+			a[i] = make([]float64, m+1)
+			for k, cidx := range cols {
+				a[i][k] = rows[i].coeffs[cidx]
+			}
+			a[i][m] = rows[i].rhs
+		}
+		// Gaussian elimination with partial pivoting.
+		for col := 0; col < m; col++ {
+			piv := -1
+			bestAbs := 1e-9
+			for r := col; r < m; r++ {
+				if math.Abs(a[r][col]) > bestAbs {
+					bestAbs = math.Abs(a[r][col])
+					piv = r
+				}
+			}
+			if piv == -1 {
+				return // singular
+			}
+			a[col], a[piv] = a[piv], a[col]
+			inv := 1 / a[col][col]
+			for j := col; j <= m; j++ {
+				a[col][j] *= inv
+			}
+			for r := 0; r < m; r++ {
+				if r == col {
+					continue
+				}
+				f := a[r][col]
+				for j := col; j <= m; j++ {
+					a[r][j] -= f * a[col][j]
+				}
+			}
+		}
+		x := make([]float64, total)
+		for k, cidx := range cols {
+			if a[k][m] < -1e-7 {
+				return // negative basic variable: infeasible vertex
+			}
+			x[cidx] = a[k][m]
+		}
+		obj := 0.0
+		for j, v := range p.Objective {
+			obj += v * x[j]
+		}
+		if obj < best {
+			best = obj
+			found = true
+		}
+	}
+	var cols []int
+	choose = func(start int, cols []int) {
+		if len(cols) == m {
+			feasCheck(cols)
+			return
+		}
+		for c := start; c < total; c++ {
+			choose(c+1, append(cols, c))
+		}
+	}
+	choose(0, cols)
+	return best, found
+}
+
+func TestRandomisedAgainstVertexEnumeration(t *testing.T) {
+	r := rng.New(55)
+	checked := 0
+	for trial := 0; trial < 200; trial++ {
+		n := 2 + r.Intn(3)
+		m := 1 + r.Intn(3)
+		p := &Problem{NumVars: n, Objective: make([]float64, n)}
+		for j := range p.Objective {
+			p.Objective[j] = r.Uniform(0.1, 5) // positive costs: bounded
+		}
+		for i := 0; i < m; i++ {
+			c := Constraint{Coeffs: make([]float64, n), RHS: r.Uniform(1, 10)}
+			for j := range c.Coeffs {
+				c.Coeffs[j] = r.Uniform(0, 3)
+			}
+			switch r.Intn(3) {
+			case 0:
+				c.Sense = LE
+			case 1:
+				c.Sense = GE
+			case 2:
+				c.Sense = EQ
+			}
+			p.Constraints = append(p.Constraints, c)
+		}
+		s, err := Solve(p)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		want, feas := bruteForceVertex(p)
+		if s.Status == Optimal != feas {
+			// A GE/EQ row with all-zero coefficients and positive RHS can
+			// make vertex enumeration disagree only through tolerance;
+			// report loudly.
+			t.Fatalf("trial %d: simplex %v, enumeration feasible=%v", trial, s.Status, feas)
+		}
+		if s.Status != Optimal {
+			continue
+		}
+		checked++
+		if math.Abs(s.Objective-want) > 1e-6 {
+			t.Fatalf("trial %d: simplex obj %v, enumeration %v", trial, s.Objective, want)
+		}
+		// Primal feasibility of the returned point.
+		for ci, c := range p.Constraints {
+			lhs := 0.0
+			for j, v := range c.Coeffs {
+				lhs += v * s.X[j]
+			}
+			switch c.Sense {
+			case LE:
+				if lhs > c.RHS+1e-6 {
+					t.Fatalf("trial %d: constraint %d violated", trial, ci)
+				}
+			case GE:
+				if lhs < c.RHS-1e-6 {
+					t.Fatalf("trial %d: constraint %d violated", trial, ci)
+				}
+			case EQ:
+				if math.Abs(lhs-c.RHS) > 1e-6 {
+					t.Fatalf("trial %d: constraint %d violated", trial, ci)
+				}
+			}
+		}
+	}
+	if checked < 50 {
+		t.Fatalf("only %d optimal instances checked", checked)
+	}
+}

@@ -1,0 +1,135 @@
+// Package metrics aggregates per-trace simulation results into the
+// statistics the paper reports: mean rejection percentages, normalized
+// energies, paired win rates, and confidence intervals.
+package metrics
+
+import (
+	"errors"
+	"math"
+	"sort"
+)
+
+// Sample summarises a set of observations.
+type Sample struct {
+	N        int
+	Mean     float64
+	Std      float64 // sample standard deviation (n−1)
+	Min, Max float64
+}
+
+// Summarise computes a Sample over xs. Empty input yields a zero Sample.
+func Summarise(xs []float64) Sample {
+	s := Sample{N: len(xs)}
+	if s.N == 0 {
+		return s
+	}
+	s.Min, s.Max = xs[0], xs[0]
+	var sum float64
+	for _, x := range xs {
+		sum += x
+		if x < s.Min {
+			s.Min = x
+		}
+		if x > s.Max {
+			s.Max = x
+		}
+	}
+	s.Mean = sum / float64(s.N)
+	if s.N > 1 {
+		var ss float64
+		for _, x := range xs {
+			d := x - s.Mean
+			ss += d * d
+		}
+		s.Std = math.Sqrt(ss / float64(s.N-1))
+	}
+	return s
+}
+
+// CI95 returns the half-width of the normal-approximation 95% confidence
+// interval of the mean.
+func (s Sample) CI95() float64 {
+	if s.N < 2 {
+		return 0
+	}
+	return 1.96 * s.Std / math.Sqrt(float64(s.N))
+}
+
+// Percentile returns the p-th percentile (0..100) of xs using linear
+// interpolation. It errors on empty input or p outside [0,100].
+func Percentile(xs []float64, p float64) (float64, error) {
+	if len(xs) == 0 {
+		return 0, errors.New("metrics: empty sample")
+	}
+	if p < 0 || p > 100 {
+		return 0, errors.New("metrics: percentile outside [0,100]")
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	if len(sorted) == 1 {
+		return sorted[0], nil
+	}
+	pos := p / 100 * float64(len(sorted)-1)
+	lo := int(math.Floor(pos))
+	hi := int(math.Ceil(pos))
+	frac := pos - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[hi]*frac, nil
+}
+
+// WinRate returns the fraction of paired observations where a[i] <= b[i]
+// (a "wins" when lower is better, e.g. rejection percentage). It errors on
+// length mismatch or empty input.
+func WinRate(a, b []float64) (float64, error) {
+	if len(a) != len(b) {
+		return 0, errors.New("metrics: paired samples differ in length")
+	}
+	if len(a) == 0 {
+		return 0, errors.New("metrics: empty sample")
+	}
+	wins := 0
+	for i := range a {
+		if a[i] <= b[i] {
+			wins++
+		}
+	}
+	return float64(wins) / float64(len(a)), nil
+}
+
+// Paired summarises the per-index differences a[i] − b[i] of two paired
+// samples (e.g. the same traces simulated with and without prediction).
+// Paired differences cancel per-trace variance, exposing effects far
+// smaller than either sample's spread.
+func Paired(a, b []float64) (Sample, error) {
+	if len(a) != len(b) {
+		return Sample{}, errors.New("metrics: paired samples differ in length")
+	}
+	if len(a) == 0 {
+		return Sample{}, errors.New("metrics: empty sample")
+	}
+	d := make([]float64, len(a))
+	for i := range a {
+		d[i] = a[i] - b[i]
+	}
+	return Summarise(d), nil
+}
+
+// NormalizeBy divides each value by the maximum over xs, yielding values in
+// [0, 1] with the largest equal to 1 — the presentation used for the
+// paper's Fig 3 energy bars. A zero or negative maximum returns a copy
+// unchanged.
+func NormalizeBy(xs []float64) []float64 {
+	out := append([]float64(nil), xs...)
+	max := 0.0
+	for _, x := range xs {
+		if x > max {
+			max = x
+		}
+	}
+	if max <= 0 {
+		return out
+	}
+	for i := range out {
+		out[i] /= max
+	}
+	return out
+}

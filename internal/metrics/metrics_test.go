@@ -1,0 +1,153 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestSummarise(t *testing.T) {
+	s := Summarise([]float64{2, 4, 4, 4, 5, 5, 7, 9})
+	if s.N != 8 || s.Mean != 5 {
+		t.Fatalf("N=%d mean=%v", s.N, s.Mean)
+	}
+	// Sample std with n-1: sqrt(32/7).
+	if math.Abs(s.Std-math.Sqrt(32.0/7)) > 1e-12 {
+		t.Fatalf("std = %v", s.Std)
+	}
+	if s.Min != 2 || s.Max != 9 {
+		t.Fatalf("min/max = %v/%v", s.Min, s.Max)
+	}
+}
+
+func TestSummariseEmptyAndSingle(t *testing.T) {
+	if s := Summarise(nil); s.N != 0 || s.Mean != 0 {
+		t.Fatalf("empty: %+v", s)
+	}
+	s := Summarise([]float64{3})
+	if s.N != 1 || s.Mean != 3 || s.Std != 0 || s.CI95() != 0 {
+		t.Fatalf("single: %+v", s)
+	}
+}
+
+func TestCI95(t *testing.T) {
+	s := Summarise([]float64{1, 2, 3, 4, 5, 6, 7, 8, 9, 10})
+	want := 1.96 * s.Std / math.Sqrt(10)
+	if math.Abs(s.CI95()-want) > 1e-12 {
+		t.Fatalf("CI95 = %v, want %v", s.CI95(), want)
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	xs := []float64{10, 20, 30, 40}
+	cases := []struct{ p, want float64 }{
+		{0, 10}, {100, 40}, {50, 25}, {25, 17.5},
+	}
+	for _, c := range cases {
+		got, err := Percentile(xs, c.p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(got-c.want) > 1e-12 {
+			t.Errorf("P%.0f = %v, want %v", c.p, got, c.want)
+		}
+	}
+	if _, err := Percentile(nil, 50); err == nil {
+		t.Error("accepted empty sample")
+	}
+	if _, err := Percentile(xs, -1); err == nil {
+		t.Error("accepted p<0")
+	}
+	if _, err := Percentile(xs, 101); err == nil {
+		t.Error("accepted p>100")
+	}
+	if v, _ := Percentile([]float64{7}, 50); v != 7 {
+		t.Error("single-element percentile wrong")
+	}
+	// Input must not be mutated.
+	in := []float64{3, 1, 2}
+	if _, err := Percentile(in, 50); err != nil {
+		t.Fatal(err)
+	}
+	if in[0] != 3 || in[1] != 1 || in[2] != 2 {
+		t.Error("Percentile mutated its input")
+	}
+}
+
+func TestWinRate(t *testing.T) {
+	r, err := WinRate([]float64{1, 5, 3}, []float64{2, 4, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(r-2.0/3) > 1e-12 {
+		t.Fatalf("win rate %v", r)
+	}
+	if _, err := WinRate([]float64{1}, []float64{1, 2}); err == nil {
+		t.Error("accepted mismatched lengths")
+	}
+	if _, err := WinRate(nil, nil); err == nil {
+		t.Error("accepted empty input")
+	}
+}
+
+func TestPaired(t *testing.T) {
+	s, err := Paired([]float64{3, 5, 7}, []float64{1, 5, 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.N != 3 || math.Abs(s.Mean-(2+0-3)/3.0) > 1e-12 {
+		t.Fatalf("paired sample %+v", s)
+	}
+	if _, err := Paired([]float64{1}, []float64{1, 2}); err == nil {
+		t.Error("accepted mismatched lengths")
+	}
+	if _, err := Paired(nil, nil); err == nil {
+		t.Error("accepted empty input")
+	}
+}
+
+func TestNormalizeBy(t *testing.T) {
+	out := NormalizeBy([]float64{2, 4, 1})
+	want := []float64{0.5, 1, 0.25}
+	for i := range want {
+		if math.Abs(out[i]-want[i]) > 1e-12 {
+			t.Fatalf("out = %v", out)
+		}
+	}
+	// All-zero input unchanged.
+	z := NormalizeBy([]float64{0, 0})
+	if z[0] != 0 || z[1] != 0 {
+		t.Fatal("zero input mishandled")
+	}
+	// Input not mutated.
+	in := []float64{2, 4}
+	NormalizeBy(in)
+	if in[0] != 2 {
+		t.Fatal("NormalizeBy mutated input")
+	}
+}
+
+func TestSummariseMatchesNaiveProperty(t *testing.T) {
+	f := func(xs []float64) bool {
+		for _, x := range xs {
+			if math.IsNaN(x) || math.IsInf(x, 0) || math.Abs(x) > 1e12 {
+				return true // skip degenerate fuzz input
+			}
+		}
+		s := Summarise(xs)
+		if s.N != len(xs) {
+			return false
+		}
+		if len(xs) == 0 {
+			return true
+		}
+		var sum float64
+		for _, x := range xs {
+			sum += x
+		}
+		return math.Abs(s.Mean-sum/float64(len(xs))) < 1e-6*(1+math.Abs(sum))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,115 @@
+// Package platform models the heterogeneous hardware the resource manager
+// schedules onto: a fixed set of computation resources, each either
+// preemptable (CPU-like) or non-preemptable (GPU-like, accelerators that
+// must run a kernel to completion).
+package platform
+
+import "fmt"
+
+// Kind classifies a resource.
+type Kind int
+
+const (
+	// CPU resources execute tasks preemptively: a running task can be
+	// paused, migrated, and resumed.
+	CPU Kind = iota
+	// GPU resources are non-preemptable: once a task starts it must run to
+	// completion on that resource and cannot be migrated away.
+	GPU
+)
+
+// String returns the conventional short name of the kind.
+func (k Kind) String() string {
+	switch k {
+	case CPU:
+		return "CPU"
+	case GPU:
+		return "GPU"
+	default:
+		return fmt.Sprintf("Kind(%d)", int(k))
+	}
+}
+
+// Resource is one computation resource r_i of the platform.
+type Resource struct {
+	// ID is the resource's index within its platform, 0-based.
+	ID int
+	// Name is a human-readable label such as "CPU1".
+	Name string
+	// Kind determines preemption semantics.
+	Kind Kind
+}
+
+// Preemptable reports whether a task running on the resource may be
+// preempted and later resumed (possibly elsewhere).
+func (r Resource) Preemptable() bool { return r.Kind == CPU }
+
+// Platform is an immutable set of resources. Construct with New or Default;
+// the zero value is an empty platform.
+type Platform struct {
+	resources []Resource
+}
+
+// New builds a platform with the given number of CPU and GPU resources.
+// CPUs come first (CPU1..CPUn), then GPUs (GPU1..GPUm).
+func New(cpus, gpus int) *Platform {
+	if cpus < 0 || gpus < 0 || cpus+gpus == 0 {
+		panic("platform: need at least one resource")
+	}
+	p := &Platform{resources: make([]Resource, 0, cpus+gpus)}
+	for i := 0; i < cpus; i++ {
+		p.resources = append(p.resources, Resource{
+			ID:   len(p.resources),
+			Name: fmt.Sprintf("CPU%d", i+1),
+			Kind: CPU,
+		})
+	}
+	for i := 0; i < gpus; i++ {
+		p.resources = append(p.resources, Resource{
+			ID:   len(p.resources),
+			Name: fmt.Sprintf("GPU%d", i+1),
+			Kind: GPU,
+		})
+	}
+	return p
+}
+
+// Default returns the platform used throughout the paper's evaluation:
+// five CPUs and one GPU (Sec 5.1).
+func Default() *Platform { return New(5, 1) }
+
+// Motivational returns the platform of the paper's motivational example
+// (Sec 3): two CPUs and one GPU.
+func Motivational() *Platform { return New(2, 1) }
+
+// Len returns the number of resources N.
+func (p *Platform) Len() int { return len(p.resources) }
+
+// Resource returns resource i. It panics if i is out of range.
+func (p *Platform) Resource(i int) Resource { return p.resources[i] }
+
+// Resources returns a copy of the resource list.
+func (p *Platform) Resources() []Resource {
+	out := make([]Resource, len(p.resources))
+	copy(out, p.resources)
+	return out
+}
+
+// NumCPUs returns the number of preemptable resources.
+func (p *Platform) NumCPUs() int {
+	n := 0
+	for _, r := range p.resources {
+		if r.Kind == CPU {
+			n++
+		}
+	}
+	return n
+}
+
+// NumGPUs returns the number of non-preemptable resources.
+func (p *Platform) NumGPUs() int { return p.Len() - p.NumCPUs() }
+
+// String summarises the platform, e.g. "platform(5 CPU + 1 GPU)".
+func (p *Platform) String() string {
+	return fmt.Sprintf("platform(%d CPU + %d GPU)", p.NumCPUs(), p.NumGPUs())
+}

@@ -1,0 +1,82 @@
+package platform
+
+import "testing"
+
+func TestDefault(t *testing.T) {
+	p := Default()
+	if p.Len() != 6 {
+		t.Fatalf("Default platform has %d resources, want 6", p.Len())
+	}
+	if p.NumCPUs() != 5 || p.NumGPUs() != 1 {
+		t.Fatalf("Default platform %d CPUs %d GPUs, want 5 and 1", p.NumCPUs(), p.NumGPUs())
+	}
+}
+
+func TestMotivational(t *testing.T) {
+	p := Motivational()
+	if p.NumCPUs() != 2 || p.NumGPUs() != 1 {
+		t.Fatalf("Motivational platform %d CPUs %d GPUs, want 2 and 1", p.NumCPUs(), p.NumGPUs())
+	}
+}
+
+func TestNewOrderingAndNames(t *testing.T) {
+	p := New(2, 2)
+	want := []struct {
+		name string
+		kind Kind
+	}{
+		{"CPU1", CPU}, {"CPU2", CPU}, {"GPU1", GPU}, {"GPU2", GPU},
+	}
+	for i, w := range want {
+		r := p.Resource(i)
+		if r.ID != i {
+			t.Errorf("resource %d has ID %d", i, r.ID)
+		}
+		if r.Name != w.name || r.Kind != w.kind {
+			t.Errorf("resource %d = %s/%v, want %s/%v", i, r.Name, r.Kind, w.name, w.kind)
+		}
+	}
+}
+
+func TestPreemptable(t *testing.T) {
+	p := Default()
+	for _, r := range p.Resources() {
+		want := r.Kind == CPU
+		if r.Preemptable() != want {
+			t.Errorf("%s preemptable=%v, want %v", r.Name, r.Preemptable(), want)
+		}
+	}
+}
+
+func TestResourcesReturnsCopy(t *testing.T) {
+	p := Default()
+	rs := p.Resources()
+	rs[0].Name = "mutated"
+	if p.Resource(0).Name == "mutated" {
+		t.Fatal("Resources leaked internal slice")
+	}
+}
+
+func TestNewPanicsOnEmpty(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for empty platform")
+		}
+	}()
+	New(0, 0)
+}
+
+func TestKindString(t *testing.T) {
+	if CPU.String() != "CPU" || GPU.String() != "GPU" {
+		t.Fatal("Kind.String mismatch")
+	}
+	if Kind(9).String() != "Kind(9)" {
+		t.Fatalf("unknown kind string = %q", Kind(9).String())
+	}
+}
+
+func TestPlatformString(t *testing.T) {
+	if got := Default().String(); got != "platform(5 CPU + 1 GPU)" {
+		t.Fatalf("String() = %q", got)
+	}
+}

@@ -1,0 +1,284 @@
+package predict
+
+import (
+	"errors"
+	"math"
+
+	"predrm/internal/trace"
+)
+
+// Markov predicts the next task type with a first-order Markov chain over
+// observed type transitions, falling back to the marginal distribution
+// before any transition from the current type has been seen. It estimates
+// the next arrival with a pluggable interarrival estimator and the next
+// deadline with the running mean relative deadline per type.
+//
+// This is the "real predictor" counterpart of Oracle: it learns online
+// with O(1) inference, matching the paper's requirement of small runtime
+// overhead.
+type Markov struct {
+	numTypes int
+	inter    InterarrivalEstimator
+	overhead float64
+
+	counts    [][]int // counts[a][b]: transitions a→b
+	marginal  []int
+	lastType  int
+	lastTime  float64
+	observed  int
+	deadSum   []float64
+	deadCount []int
+}
+
+// NewMarkov builds an online predictor for numTypes task types using the
+// given interarrival estimator (nil defaults to an EWMA with α = 0.2) and
+// charging the given overhead per prediction.
+func NewMarkov(numTypes int, inter InterarrivalEstimator, overhead float64) (*Markov, error) {
+	if numTypes <= 0 {
+		return nil, errors.New("predict: NumTypes must be positive")
+	}
+	if overhead < 0 {
+		return nil, errors.New("predict: negative overhead")
+	}
+	if inter == nil {
+		inter = NewEWMA(0.2)
+	}
+	m := &Markov{numTypes: numTypes, inter: inter, overhead: overhead}
+	m.Reset()
+	return m, nil
+}
+
+var _ Predictor = (*Markov)(nil)
+
+// Observe updates the transition table and interarrival estimator.
+func (m *Markov) Observe(_ int, req trace.Request) {
+	if m.observed > 0 {
+		m.counts[m.lastType][req.Type]++
+		m.inter.Observe(req.Arrival - m.lastTime)
+	}
+	m.marginal[req.Type]++
+	m.deadSum[req.Type] += req.Deadline
+	m.deadCount[req.Type]++
+	m.lastType = req.Type
+	m.lastTime = req.Arrival
+	m.observed++
+}
+
+// Predict forecasts the next request; it needs at least one observation.
+func (m *Markov) Predict() (Prediction, bool) {
+	if m.observed == 0 {
+		return Prediction{}, false
+	}
+	// Most likely successor of the last type; marginal mode as fallback.
+	best, bestCount := -1, 0
+	for b, c := range m.counts[m.lastType] {
+		if c > bestCount {
+			best, bestCount = b, c
+		}
+	}
+	if best == -1 {
+		for b, c := range m.marginal {
+			if c > bestCount {
+				best, bestCount = b, c
+			}
+		}
+	}
+	gap, ok := m.inter.Predict()
+	if !ok {
+		return Prediction{}, false
+	}
+	deadline := math.NaN()
+	if m.deadCount[best] > 0 {
+		deadline = m.deadSum[best] / float64(m.deadCount[best])
+	} else {
+		// Never seen this type's deadline: average over all types.
+		var s float64
+		var c int
+		for ty := range m.deadSum {
+			s += m.deadSum[ty]
+			c += m.deadCount[ty]
+		}
+		deadline = s / float64(c)
+	}
+	return Prediction{Type: best, Arrival: m.lastTime + gap, Deadline: deadline}, true
+}
+
+// PredictK chains the Markov argmax k steps ahead, accumulating the gap
+// estimate; forecast confidence decays quickly with the horizon, which is
+// exactly what the lookahead experiments are meant to expose.
+func (m *Markov) PredictK(k int) []Prediction {
+	if m.observed == 0 {
+		return nil
+	}
+	gap, ok := m.inter.Predict()
+	if !ok {
+		return nil
+	}
+	out := make([]Prediction, 0, k)
+	cur := m.lastType
+	arrival := m.lastTime
+	for step := 0; step < k; step++ {
+		best, bestCount := -1, 0
+		for b, c := range m.counts[cur] {
+			if c > bestCount {
+				best, bestCount = b, c
+			}
+		}
+		if best == -1 {
+			for b, c := range m.marginal {
+				if c > bestCount {
+					best, bestCount = b, c
+				}
+			}
+		}
+		arrival += gap
+		deadline := 0.0
+		if m.deadCount[best] > 0 {
+			deadline = m.deadSum[best] / float64(m.deadCount[best])
+		} else {
+			var s float64
+			var c int
+			for ty := range m.deadSum {
+				s += m.deadSum[ty]
+				c += m.deadCount[ty]
+			}
+			deadline = s / float64(c)
+		}
+		out = append(out, Prediction{Type: best, Arrival: arrival, Deadline: deadline})
+		cur = best
+	}
+	return out
+}
+
+var _ MultiPredictor = (*Markov)(nil)
+
+// Overhead returns the configured prediction latency.
+func (m *Markov) Overhead() float64 { return m.overhead }
+
+// Reset clears all learned state.
+func (m *Markov) Reset() {
+	m.counts = make([][]int, m.numTypes)
+	for i := range m.counts {
+		m.counts[i] = make([]int, m.numTypes)
+	}
+	m.marginal = make([]int, m.numTypes)
+	m.deadSum = make([]float64, m.numTypes)
+	m.deadCount = make([]int, m.numTypes)
+	m.observed = 0
+	m.inter.Reset()
+}
+
+// InterarrivalEstimator learns the gap process between request arrivals.
+type InterarrivalEstimator interface {
+	// Observe feeds one gap (always > 0).
+	Observe(gap float64)
+	// Predict estimates the next gap; false before any observation.
+	Predict() (float64, bool)
+	// Reset clears state.
+	Reset()
+}
+
+// EWMA is an exponentially weighted moving-average gap estimator.
+type EWMA struct {
+	alpha float64
+	mean  float64
+	seen  bool
+}
+
+// NewEWMA builds an EWMA estimator with smoothing factor alpha in (0, 1].
+func NewEWMA(alpha float64) *EWMA {
+	if alpha <= 0 || alpha > 1 {
+		alpha = 0.2
+	}
+	return &EWMA{alpha: alpha}
+}
+
+var _ InterarrivalEstimator = (*EWMA)(nil)
+
+// Observe folds one gap into the running average.
+func (e *EWMA) Observe(gap float64) {
+	if !e.seen {
+		e.mean = gap
+		e.seen = true
+		return
+	}
+	e.mean += e.alpha * (gap - e.mean)
+}
+
+// Predict returns the current smoothed gap.
+func (e *EWMA) Predict() (float64, bool) { return e.mean, e.seen }
+
+// Reset clears the average.
+func (e *EWMA) Reset() { e.seen = false; e.mean = 0 }
+
+// TwoPhase is a simplified version of the authors' two-phase interarrival
+// predictor [12]: recent gaps are classified into "burst" and "idle"
+// phases by a running threshold, a per-phase mean is maintained, and the
+// phase-to-phase transition decides which mean to forecast.
+type TwoPhase struct {
+	alpha      float64
+	mean       float64 // overall running mean (threshold)
+	phaseMean  [2]float64
+	phaseSeen  [2]bool
+	trans      [2][2]int
+	lastPhase  int
+	seenAny    bool
+	seenSecond bool
+}
+
+// NewTwoPhase builds the estimator; alpha smooths the per-phase means.
+func NewTwoPhase(alpha float64) *TwoPhase {
+	if alpha <= 0 || alpha > 1 {
+		alpha = 0.3
+	}
+	return &TwoPhase{alpha: alpha}
+}
+
+var _ InterarrivalEstimator = (*TwoPhase)(nil)
+
+// Observe classifies the gap against the running mean and updates the
+// phase statistics.
+func (t *TwoPhase) Observe(gap float64) {
+	if !t.seenAny {
+		t.mean = gap
+	} else {
+		t.mean += 0.1 * (gap - t.mean)
+	}
+	phase := 0 // burst: shorter than typical
+	if gap > t.mean {
+		phase = 1 // idle: longer than typical
+	}
+	if !t.phaseSeen[phase] {
+		t.phaseMean[phase] = gap
+		t.phaseSeen[phase] = true
+	} else {
+		t.phaseMean[phase] += t.alpha * (gap - t.phaseMean[phase])
+	}
+	if t.seenAny {
+		t.trans[t.lastPhase][phase]++
+		t.seenSecond = true
+	}
+	t.lastPhase = phase
+	t.seenAny = true
+}
+
+// Predict forecasts the mean gap of the most likely next phase.
+func (t *TwoPhase) Predict() (float64, bool) {
+	if !t.seenAny {
+		return 0, false
+	}
+	if !t.seenSecond {
+		return t.phaseMean[t.lastPhase], true
+	}
+	next := 0
+	if t.trans[t.lastPhase][1] > t.trans[t.lastPhase][0] {
+		next = 1
+	}
+	if !t.phaseSeen[next] {
+		next = t.lastPhase
+	}
+	return t.phaseMean[next], true
+}
+
+// Reset clears all phase statistics.
+func (t *TwoPhase) Reset() { *t = TwoPhase{alpha: t.alpha} }

@@ -1,0 +1,292 @@
+package sched
+
+import (
+	"math"
+	"testing"
+
+	"predrm/internal/platform"
+	"predrm/internal/rng"
+	"predrm/internal/task"
+)
+
+// motivProblem builds the paper's motivational scenario (Sec 3, Table 1)
+// at time 0: τ1 arrived at 0 (deadline 8), and — when withPred is set — a
+// predicted τ2 at time 1 (deadline 5).
+func motivProblem(withPred bool) *Problem {
+	ts := task.Motivational()
+	j1 := NewJob(0, ts.Type(0), 0, 8)
+	p := &Problem{
+		Platform: platform.Motivational(),
+		Time:     0,
+		Jobs:     []*Job{j1},
+	}
+	if withPred {
+		jp := NewJob(1, ts.Type(1), 1, 5)
+		jp.Predicted = true
+		p.Jobs = append(p.Jobs, jp)
+	}
+	return p
+}
+
+func TestWindow(t *testing.T) {
+	p := motivProblem(true)
+	// K = max t_left: τ1 deadline 8, τp deadline 1+5=6.
+	if got := p.Window(); got != 8 {
+		t.Fatalf("Window = %v, want 8", got)
+	}
+}
+
+func TestPredIndexAndWithoutPred(t *testing.T) {
+	p := motivProblem(true)
+	if p.PredIndex() != 1 {
+		t.Fatalf("PredIndex = %d", p.PredIndex())
+	}
+	q := p.WithoutPred()
+	if len(q.Jobs) != 1 || q.PredIndex() != -1 {
+		t.Fatalf("WithoutPred left %d jobs, pred at %d", len(q.Jobs), q.PredIndex())
+	}
+	// Original untouched.
+	if len(p.Jobs) != 2 {
+		t.Fatal("WithoutPred mutated the original")
+	}
+}
+
+func TestValidate(t *testing.T) {
+	p := motivProblem(true)
+	if err := p.Validate(); err != nil {
+		t.Fatalf("valid problem rejected: %v", err)
+	}
+	// Future real job.
+	bad := motivProblem(false)
+	bad.Jobs[0].Arrival = 5
+	if err := bad.Validate(); err == nil {
+		t.Fatal("accepted real job arriving after activation")
+	}
+	// Two predicted jobs are allowed (multi-step lookahead extension).
+	multi := motivProblem(true)
+	extra := multi.Jobs[1].Clone()
+	extra.Arrival += 1
+	multi.Jobs = append(multi.Jobs, extra)
+	if err := multi.Validate(); err != nil {
+		t.Fatalf("rejected two predicted jobs: %v", err)
+	}
+	if multi.NumPredicted() != 2 {
+		t.Fatalf("NumPredicted = %d", multi.NumPredicted())
+	}
+	// Without removes one job.
+	if got := multi.Without(2); len(got.Jobs) != 2 || got.NumPredicted() != 1 {
+		t.Fatalf("Without(2) left %d jobs, %d predicted", len(got.Jobs), got.NumPredicted())
+	}
+	// Finished job.
+	bad3 := motivProblem(false)
+	bad3.Jobs[0].Frac = 0
+	if err := bad3.Validate(); err == nil {
+		t.Fatal("accepted finished job")
+	}
+	// No platform.
+	if err := (&Problem{}).Validate(); err == nil {
+		t.Fatal("accepted problem without platform")
+	}
+}
+
+// TestMotivationalScenarioA reproduces the paper's scenario (a): τ1 on the
+// GPU, then τ2 arriving at time 1 cannot be saved.
+func TestMotivationalScenarioA(t *testing.T) {
+	ts := task.Motivational()
+	plat := platform.Motivational()
+
+	// At time 0 the no-prediction RM puts τ1 on the GPU (min energy).
+	j1 := NewJob(0, ts.Type(0), 0, 8)
+	p0 := &Problem{Platform: plat, Time: 0, Jobs: []*Job{j1}}
+	if !p0.FeasibleMapping([]int{2}) {
+		t.Fatal("τ1 alone on GPU must be feasible")
+	}
+
+	// Time 1: τ1 started on the GPU (1ms of 5 done), τ2 arrives with
+	// deadline 5. τ1 is pinned; no mapping of τ2 can make it.
+	j1.Resource = 2
+	j1.Started = true
+	j1.ExecRes = j1.Resource
+	j1.Frac = 1 - 1.0/5
+	j2 := NewJob(1, ts.Type(1), 1, 5)
+	p1 := &Problem{Platform: plat, Time: 1, Jobs: []*Job{j1, j2}}
+	for r := 0; r < plat.Len(); r++ {
+		if p1.FeasibleMapping([]int{2, r}) {
+			t.Fatalf("scenario (a): τ2 on %s should be infeasible", plat.Resource(r).Name)
+		}
+	}
+	// And τ1 cannot move (pinned).
+	if p1.FeasibleMapping([]int{0, 2}) {
+		t.Fatal("pinned τ1 was allowed to migrate")
+	}
+}
+
+// TestMotivationalScenarioB reproduces scenario (b): with the prediction,
+// τ1 goes to CPU1 and the GPU is reserved for τ2; both meet deadlines.
+func TestMotivationalScenarioB(t *testing.T) {
+	p := motivProblem(true)
+	// τ1 on CPU1 (res 0), predicted τ2 on GPU (res 2).
+	if !p.FeasibleMapping([]int{0, 2}) {
+		t.Fatal("scenario (b) mapping must be feasible")
+	}
+	// Energy: τ1 on CPU1 = 7.3, τ2 on GPU = 1.5 → 8.8 (the paper's value).
+	if got := p.Energy([]int{0, 2}); math.Abs(got-8.8) > 1e-12 {
+		t.Fatalf("scenario (b) energy = %v, want 8.8", got)
+	}
+	// τ1 on the GPU with τ2 predicted there too is infeasible: the GPU is
+	// non-preemptable, so τ1 (started at 0, 5ms) blocks τ2 only until 5,
+	// then τ2 runs 5..8 but its deadline is 6.
+	if p.FeasibleMapping([]int{2, 2}) {
+		t.Fatal("GPU double-booking should be infeasible")
+	}
+}
+
+// TestMotivationalLateArrival reproduces the paper's "inaccurate
+// prediction" discussion: if τ2 actually arrives at 3, the no-prediction
+// RM serialises both on the GPU for 3.5 J total.
+func TestMotivationalLateArrival(t *testing.T) {
+	ts := task.Motivational()
+	plat := platform.Motivational()
+	// τ1 started on GPU at 0; at time 3, τ2 (deadline 5) arrives.
+	j1 := NewJob(0, ts.Type(0), 0, 8)
+	j1.Resource = 2
+	j1.Started = true
+	j1.ExecRes = j1.Resource
+	j1.Frac = 1 - 3.0/5
+	j2 := NewJob(1, ts.Type(1), 3, 5)
+	p := &Problem{Platform: plat, Time: 3, Jobs: []*Job{j1, j2}}
+	if !p.FeasibleMapping([]int{2, 2}) {
+		t.Fatal("GPU serialisation must be feasible: τ1 ends at 5, τ2 runs 5..8 ≤ deadline 8")
+	}
+	// Energy 2 + 1.5 = 3.5 J as in the paper... except τ1 has consumed 3/5
+	// of its energy already; the objective counts remaining energy. Verify
+	// the remaining-energy objective instead.
+	want := 2*(1-3.0/5) + 1.5
+	if got := p.Energy([]int{2, 2}); math.Abs(got-want) > 1e-12 {
+		t.Fatalf("energy = %v, want %v", got, want)
+	}
+}
+
+func TestMappingValid(t *testing.T) {
+	p := motivProblem(false)
+	if p.MappingValid([]int{-1}) {
+		t.Fatal("accepted unmapped job")
+	}
+	if p.MappingValid([]int{9}) {
+		t.Fatal("accepted out-of-range resource")
+	}
+	if p.MappingValid([]int{0, 1}) {
+		t.Fatal("accepted wrong-length mapping")
+	}
+	if !p.MappingValid([]int{1}) {
+		t.Fatal("rejected valid mapping")
+	}
+}
+
+func TestEnergyIncludesMigration(t *testing.T) {
+	ts := task.Motivational()
+	plat := platform.Motivational()
+	j := NewJob(0, ts.Type(0), 0, 100)
+	j.Type = &task.Type{ID: 0,
+		WCET:    []float64{8, 12, 5},
+		Energy:  []float64{7.3, 8.4, 2},
+		MigTime: 1, MigEnergy: 0.5,
+	}
+	j.Resource = 0
+	j.Started = true
+	j.ExecRes = j.Resource
+	j.Frac = 0.5
+	p := &Problem{Platform: plat, Time: 4, Jobs: []*Job{j}}
+	// Migrating CPU1→CPU2: 8.4*0.5 + 0.5.
+	if got := p.Energy([]int{1}); math.Abs(got-(8.4*0.5+0.5)) > 1e-12 {
+		t.Fatalf("Energy = %v", got)
+	}
+	// Staying: 7.3*0.5.
+	if got := p.Energy([]int{0}); math.Abs(got-7.3*0.5) > 1e-12 {
+		t.Fatalf("Energy = %v", got)
+	}
+}
+
+func TestEnergyNotExecutable(t *testing.T) {
+	ty := &task.Type{ID: 0,
+		WCET:   []float64{5, task.NotExecutable, task.NotExecutable},
+		Energy: []float64{2, task.NotExecutable, task.NotExecutable}}
+	j := NewJob(0, ty, 0, 10)
+	p := &Problem{Platform: platform.Motivational(), Time: 0, Jobs: []*Job{j}}
+	if p.Energy([]int{1}) != task.NotExecutable {
+		t.Fatal("Energy on non-executable mapping should be NotExecutable")
+	}
+}
+
+func TestScheduleReconstruction(t *testing.T) {
+	p := motivProblem(true)
+	segs, ok := p.Schedule([]int{0, 2})
+	if !ok {
+		t.Fatal("feasible mapping reported infeasible by Schedule")
+	}
+	// τ1 occupies CPU1 0..8; predicted τ2 occupies GPU 1..4.
+	cpu1 := segs[0]
+	if len(cpu1) != 1 || cpu1[0].Index != 0 || cpu1[0].Start != 0 || cpu1[0].End != 8 {
+		t.Fatalf("CPU1 schedule = %+v", cpu1)
+	}
+	gpu := segs[2]
+	if len(gpu) != 1 || gpu[0].Index != 1 || gpu[0].Start != 1 || gpu[0].End != 4 {
+		t.Fatalf("GPU schedule = %+v", gpu)
+	}
+	if _, ok := p.Schedule([]int{-1, 2}); ok {
+		t.Fatal("Schedule accepted invalid mapping")
+	}
+	// Infeasible but valid mapping: feasible=false, schedule still built.
+	segs, ok = p.Schedule([]int{2, 2})
+	if ok {
+		t.Fatal("double-booked GPU reported feasible")
+	}
+	if len(segs[2]) == 0 {
+		t.Fatal("no schedule reconstructed for infeasible mapping")
+	}
+}
+
+// TestFeasibleMappingRandomisedConsistency cross-checks FeasibleMapping
+// against independently simulating each resource.
+func TestFeasibleMappingRandomisedConsistency(t *testing.T) {
+	plat := platform.Default()
+	set, err := task.Generate(plat, task.DefaultGenConfig(), rng.New(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rng.New(17)
+	for trial := 0; trial < 200; trial++ {
+		n := 1 + r.Intn(8)
+		jobs := make([]*Job, n)
+		mapping := make([]int, n)
+		now := r.Uniform(0, 100)
+		for i := range jobs {
+			ty := set.Type(r.Intn(set.Len()))
+			arr := now - r.Uniform(0, 20)
+			j := NewJob(i, ty, arr, r.Uniform(10, 200))
+			if r.Float64() < 0.5 {
+				j.Resource = r.Intn(plat.Len())
+				if r.Float64() < 0.5 {
+					j.Started = true
+					j.ExecRes = j.Resource
+					j.Frac = r.Uniform(0.1, 1)
+				}
+			}
+			if j.AbsDeadline <= now {
+				j.AbsDeadline = now + r.Uniform(1, 50)
+			}
+			jobs[i] = j
+			if j.Pinned(plat) {
+				mapping[i] = j.Resource
+			} else {
+				mapping[i] = r.Intn(plat.Len())
+			}
+		}
+		p := &Problem{Platform: plat, Time: now, Jobs: jobs}
+		got := p.FeasibleMapping(mapping)
+		_, want := p.Schedule(mapping)
+		if got != want {
+			t.Fatalf("trial %d: FeasibleMapping=%v but Schedule says %v", trial, got, want)
+		}
+	}
+}

@@ -1,0 +1,140 @@
+package sim
+
+import (
+	"math"
+	"testing"
+
+	"predrm/internal/core"
+	"predrm/internal/critical"
+	"predrm/internal/exact"
+	"predrm/internal/predict"
+	"predrm/internal/trace"
+)
+
+func testCriticalSet() *critical.Set {
+	return &critical.Set{Tasks: []*critical.Task{
+		{ID: 0, Name: "ctrl", Resource: 0, Period: 12, WCET: 3, Energy: 1.5, Deadline: 6},
+		{ID: 1, Name: "sense", Resource: 1, Period: 25, Offset: 5, WCET: 5, Energy: 2, Deadline: 15},
+	}}
+}
+
+func TestCriticalJobsAlwaysServed(t *testing.T) {
+	set, tr := testWorkload(t, trace.VeryTight, 150, 2.2, 31)
+	cfg := baseConfig(set)
+	cfg.Critical = testCriticalSet()
+	cfg.Audit = true
+	res, err := Run(cfg, tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.CriticalJobs == 0 {
+		t.Fatal("no critical releases served")
+	}
+	if res.CriticalMisses != 0 {
+		t.Fatalf("%d critical deadline misses — the design-time guarantee broke", res.CriticalMisses)
+	}
+	if res.DeadlineMisses != 0 {
+		t.Fatalf("%d adaptive deadline misses", res.DeadlineMisses)
+	}
+	if res.CriticalEnergy <= 0 {
+		t.Fatal("critical energy not accounted")
+	}
+	// Rough release count: trace spans ~150 x 2.2 time units.
+	span := tr.Requests[tr.Len()-1].Arrival
+	expect0 := int(span / 12)
+	if res.CriticalJobs < expect0 {
+		t.Fatalf("only %d critical jobs over span %.0f", res.CriticalJobs, span)
+	}
+}
+
+func TestCriticalReducesAdaptiveCapacity(t *testing.T) {
+	set, tr := testWorkload(t, trace.VeryTight, 150, 2.2, 32)
+	without, err := Run(baseConfig(set), tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := baseConfig(set)
+	// A hungry critical load on two CPUs.
+	cfg.Critical = &critical.Set{Tasks: []*critical.Task{
+		{ID: 0, Resource: 0, Period: 10, WCET: 6, Energy: 2, Deadline: 10},
+		{ID: 1, Resource: 1, Period: 10, WCET: 6, Energy: 2, Deadline: 10},
+	}}
+	with, err := Run(cfg, tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if with.CriticalMisses != 0 || with.DeadlineMisses != 0 {
+		t.Fatal("deadline misses under critical load")
+	}
+	if with.Rejected <= without.Rejected {
+		t.Fatalf("critical load did not reduce adaptive capacity: %d vs %d rejected",
+			with.Rejected, without.Rejected)
+	}
+}
+
+func TestCriticalWithPredictionAndExact(t *testing.T) {
+	set, tr := testWorkload(t, trace.VeryTight, 100, 3, 33)
+	cfg := baseConfig(set)
+	cfg.Solver = &exact.Optimal{}
+	cfg.Critical = testCriticalSet()
+	cfg.Audit = true
+	o, err := predict.NewOracle(tr, predict.OracleConfig{TypeAccuracy: 0.9, TimeError: 0.1, NumTypes: set.Len(), Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Predictor = o
+	res, err := Run(cfg, tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.CriticalMisses != 0 || res.DeadlineMisses != 0 {
+		t.Fatalf("misses: %d critical, %d adaptive", res.CriticalMisses, res.DeadlineMisses)
+	}
+}
+
+func TestCriticalEnergySeparateFromAdaptive(t *testing.T) {
+	set, tr := testWorkload(t, trace.LessTight, 60, 20, 34)
+	cfg := baseConfig(set)
+	cfg.Critical = testCriticalSet()
+	res, err := Run(cfg, tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var adaptive float64
+	for _, j := range res.Jobs {
+		adaptive += j.Energy
+	}
+	if math.Abs(adaptive-res.TotalEnergy) > 1e-6 {
+		t.Fatalf("critical energy leaked into TotalEnergy: %v vs %v", adaptive, res.TotalEnergy)
+	}
+}
+
+func TestCriticalValidationSurfacesEarly(t *testing.T) {
+	set, tr := testWorkload(t, trace.VeryTight, 10, 5, 35)
+	cfg := baseConfig(set)
+	cfg.Critical = &critical.Set{Tasks: []*critical.Task{
+		{ID: 0, Resource: 5, Period: 10, WCET: 2, Energy: 1, Deadline: 10}, // GPU: invalid
+	}}
+	if _, err := Run(cfg, tr); err == nil {
+		t.Fatal("accepted critical task on a non-preemptable resource")
+	}
+}
+
+func TestCriticalDenseLoadStillSound(t *testing.T) {
+	// Near-saturating critical density on one CPU with tight deadlines;
+	// the adaptive RM must work around it without any miss.
+	set, tr := testWorkload(t, trace.VeryTight, 80, 2.5, 36)
+	cfg := baseConfig(set)
+	cfg.Solver = &core.Heuristic{}
+	cfg.Critical = &critical.Set{Tasks: []*critical.Task{
+		{ID: 0, Resource: 2, Period: 5, WCET: 3, Energy: 1, Deadline: 4},
+	}}
+	cfg.Audit = true
+	res, err := Run(cfg, tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.CriticalMisses != 0 || res.DeadlineMisses != 0 {
+		t.Fatalf("misses under dense critical load: %d/%d", res.CriticalMisses, res.DeadlineMisses)
+	}
+}

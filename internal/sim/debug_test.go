@@ -1,0 +1,27 @@
+package sim
+
+import (
+	"testing"
+
+	"predrm/internal/exact"
+	"predrm/internal/trace"
+)
+
+// TestAuditRegressionMigratedOccupant pins the fix for a soundness bug: a
+// job that started on a CPU and was migrated to the GPU must not be treated
+// as the GPU's mid-execution occupant — doing so reorders the GPU queue
+// against the admission-time feasibility check and causes deadline misses.
+// This workload reproduced 14 misses before the fix.
+func TestAuditRegressionMigratedOccupant(t *testing.T) {
+	set, tr := testWorkload(t, trace.VeryTight, 120, 4, 7)
+	cfg := baseConfig(set)
+	cfg.Solver = &exact.Optimal{}
+	cfg.Audit = true
+	res, err := Run(cfg, tr)
+	if err != nil {
+		t.Fatalf("audit failed: %v", err)
+	}
+	if res.DeadlineMisses != 0 {
+		t.Fatalf("%d deadline misses", res.DeadlineMisses)
+	}
+}

@@ -1,0 +1,69 @@
+package sim
+
+import (
+	"math"
+	"testing"
+
+	"predrm/internal/predict"
+	"predrm/internal/trace"
+)
+
+// TestExecutionModesIdenticalWithoutPrediction: with no predicted jobs the
+// planned schedule IS the work-conserving EDF schedule, so the two
+// execution modes must agree bit-for-bit.
+func TestExecutionModesIdenticalWithoutPrediction(t *testing.T) {
+	set, tr := testWorkload(t, trace.VeryTight, 150, 2.2, 51)
+	a := baseConfig(set)
+	ra, err := Run(a, tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := baseConfig(set)
+	b.WorkConserving = true
+	rb, err := Run(b, tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ra.Accepted != rb.Accepted || ra.Migrations != rb.Migrations {
+		t.Fatalf("modes diverged: %d/%d accepted, %d/%d migrations",
+			ra.Accepted, rb.Accepted, ra.Migrations, rb.Migrations)
+	}
+	if math.Abs(ra.TotalEnergy-rb.TotalEnergy) > 1e-9 {
+		t.Fatalf("energy diverged: %v vs %v", ra.TotalEnergy, rb.TotalEnergy)
+	}
+	for i := range ra.Jobs {
+		if math.Abs(ra.Jobs[i].FinishTime-rb.Jobs[i].FinishTime) > 1e-6 {
+			t.Fatalf("job %d finish diverged: %v vs %v",
+				i, ra.Jobs[i].FinishTime, rb.Jobs[i].FinishTime)
+		}
+	}
+}
+
+// TestExecutionModesAgreeWithPrediction documents the structural finding
+// (see TestReservationSemantics): because the planner's EDF dispatch is
+// itself work-conserving, plan-honouring execution and greedy dispatch
+// coincide even with reservations, on aggregate outcomes.
+func TestExecutionModesAgreeWithPrediction(t *testing.T) {
+	set, tr := testWorkload(t, trace.VeryTight, 150, 2.2, 52)
+	run := func(workConserving bool) *Result {
+		o, err := predict.NewOracle(tr, predict.OracleConfig{TypeAccuracy: 1, NumTypes: set.Len(), Seed: 9})
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfg := baseConfig(set)
+		cfg.Predictor = o
+		cfg.WorkConserving = workConserving
+		res, err := Run(cfg, tr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	ra, rb := run(false), run(true)
+	if ra.Accepted != rb.Accepted {
+		t.Fatalf("acceptance diverged with prediction: %d vs %d", ra.Accepted, rb.Accepted)
+	}
+	if ra.DeadlineMisses != 0 || rb.DeadlineMisses != 0 {
+		t.Fatal("deadline misses")
+	}
+}

@@ -1,0 +1,705 @@
+// Package sim drives a request trace through the platform and a resource
+// manager: the discrete-event simulation behind every experiment in the
+// paper's evaluation (Sec 5).
+//
+// Event loop per request: advance execution to the arrival, advance
+// further by the prediction/decision overhead (Sec 5.5), build the S̄
+// problem (active jobs + arriving job + optional predicted job), run the
+// admission protocol, apply the resulting mapping (charging migrations),
+// and continue.
+//
+// Between RM activations the platform executes the decision's *planned*
+// EDF schedule, including the capacity reserved for the predicted task: a
+// queued job planned after the predicted one waits for it. This is what
+// makes a reservation on a non-preemptable resource effective — under
+// work-conserving execution the next queued job would grab the reserved
+// gap, get pinned, and block the real task when it arrives, silently
+// cancelling the benefit prediction is supposed to deliver. The
+// work-conserving alternative is available as Config.WorkConserving for
+// ablation. With no prediction the two coincide (the planned schedule is
+// the work-conserving EDF schedule), preserving the paper's "no preemption
+// between two activations" property.
+package sim
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"predrm/internal/core"
+	"predrm/internal/critical"
+	"predrm/internal/platform"
+	"predrm/internal/predict"
+	"predrm/internal/sched"
+	"predrm/internal/task"
+	"predrm/internal/trace"
+)
+
+// Config assembles one simulation.
+type Config struct {
+	// Platform to execute on.
+	Platform *platform.Platform
+	// TaskSet resolving request types.
+	TaskSet *task.Set
+	// Solver is the mapping engine (heuristic, exact, or MILP).
+	Solver core.Solver
+	// Predictor provides next-request forecasts; nil disables prediction.
+	Predictor predict.Predictor
+	// Lookahead is the forecast horizon: how many upcoming requests are
+	// included as planning constraints. 0 and 1 both mean the paper's
+	// single-step prediction; larger values require a Predictor that
+	// implements predict.MultiPredictor (the library's extension).
+	Lookahead int
+	// Critical is the design-time safety-critical workload (Sec 2); nil
+	// disables it. Critical jobs release periodically on their static
+	// resources with guaranteed service: every adaptive admission accounts
+	// for the upcoming critical releases inside its decision window.
+	Critical *critical.Set
+	// Policy selects migration charging (default ChargeStartedOnly).
+	Policy sched.MigrationPolicy
+	// ExtraOverhead is added to the predictor's own overhead as decision
+	// latency, in simulated time.
+	ExtraOverhead float64
+	// WorkConserving switches execution between activations from the
+	// planned schedule (default: reservations for the predicted task are
+	// honoured) to greedy EDF dispatch that backfills reserved gaps.
+	// Ablation A4 quantifies the difference; without prediction the modes
+	// are identical.
+	WorkConserving bool
+	// Audit re-verifies at every activation that the active jobs' current
+	// mappings are still EDF-feasible, reporting the first violation
+	// through the returned error. Meant for tests and debugging; the
+	// invariant must hold for a sound RM.
+	Audit bool
+	// RecordExecution captures the executed schedule as Result.Execution
+	// (per-resource segments), for Gantt rendering and post-hoc analysis.
+	RecordExecution bool
+}
+
+// ExecSegment is one contiguous piece of executed schedule: job JobID ran
+// on Resource during [Start, End). Migration-debt service is included in
+// the job's occupancy.
+type ExecSegment struct {
+	Resource int     `json:"resource"`
+	JobID    int     `json:"job"`
+	Start    float64 `json:"start"`
+	End      float64 `json:"end"`
+}
+
+// Validate checks the configuration.
+func (c *Config) Validate() error {
+	switch {
+	case c.Platform == nil:
+		return errors.New("sim: no platform")
+	case c.TaskSet == nil:
+		return errors.New("sim: no task set")
+	case c.Solver == nil:
+		return errors.New("sim: no solver")
+	case c.ExtraOverhead < 0:
+		return errors.New("sim: negative overhead")
+	case c.Lookahead < 0:
+		return errors.New("sim: negative lookahead")
+	case c.Lookahead > 1 && c.Predictor == nil:
+		return errors.New("sim: lookahead needs a predictor")
+	}
+	return nil
+}
+
+// JobRecord is the per-request outcome.
+type JobRecord struct {
+	// ID is the request's index in the trace.
+	ID int
+	// Type is the task type.
+	Type int
+	// Arrival and AbsDeadline are absolute times.
+	Arrival, AbsDeadline float64
+	// Accepted reports admission.
+	Accepted bool
+	// FinishTime is the completion time of accepted jobs.
+	FinishTime float64
+	// Energy is the energy this job consumed, including its migrations.
+	Energy float64
+	// Migrations counts charged relocations.
+	Migrations int
+	// MissedDeadline flags an accepted job finishing late — an invariant
+	// violation of the resource manager.
+	MissedDeadline bool
+}
+
+// Result aggregates one trace's simulation.
+type Result struct {
+	// Requests is the trace length; Accepted + Rejected == Requests.
+	Requests, Accepted, Rejected int
+	// TotalEnergy is the energy of all executed work plus migrations.
+	TotalEnergy float64
+	// MigrationEnergy is the migration share of TotalEnergy.
+	MigrationEnergy float64
+	// Migrations counts charged relocations.
+	Migrations int
+	// DeadlineMisses counts accepted jobs that finished late (must be 0
+	// for a sound RM).
+	DeadlineMisses int
+	// CriticalJobs counts critical releases served; CriticalEnergy their
+	// consumption (not included in TotalEnergy); CriticalMisses their
+	// deadline violations (must be 0).
+	CriticalJobs   int
+	CriticalEnergy float64
+	CriticalMisses int
+	// MakeSpan is when the last accepted job finished.
+	MakeSpan float64
+	// Execution is the executed schedule when Config.RecordExecution is
+	// set, ordered by start time within each resource.
+	Execution []ExecSegment
+	// Jobs holds one record per request, in trace order.
+	Jobs []JobRecord
+}
+
+// RejectionPct returns the rejected percentage of requests.
+func (r *Result) RejectionPct() float64 {
+	if r.Requests == 0 {
+		return 0
+	}
+	return 100 * float64(r.Rejected) / float64(r.Requests)
+}
+
+// planSeg is one piece of the standing schedule: job runs on its resource
+// during [start, end); a nil job is a reservation for the predicted task
+// (the resource idles through it).
+type planSeg struct {
+	job        *sched.Job
+	start, end float64
+}
+
+// runner is the mutable simulation state.
+type runner struct {
+	cfg    Config
+	now    float64
+	active []*sched.Job
+	rec    []JobRecord
+	res    *Result
+	// plan holds the standing schedule per resource (plan-based mode).
+	plan [][]planSeg
+	// exec accumulates executed segments per resource (RecordExecution).
+	exec [][]ExecSegment
+	// criticalNext tracks the next release index per critical task.
+	criticalNext []int
+}
+
+// advanceTo advances execution to target, materialising critical releases
+// on the way (each release joins the active set and triggers a replan).
+func (r *runner) advanceTo(target float64) error {
+	if r.cfg.Critical == nil {
+		r.advance(target)
+		return nil
+	}
+	for {
+		rel, ok := r.nextCriticalRelease()
+		if !ok || rel >= target-sched.Eps {
+			break
+		}
+		r.advance(rel)
+		r.materializeCritical(rel)
+		if err := r.replan(nil); err != nil {
+			return err
+		}
+	}
+	r.advance(target)
+	return nil
+}
+
+// nextCriticalRelease returns the earliest unmaterialised release time.
+func (r *runner) nextCriticalRelease() (float64, bool) {
+	best := math.Inf(1)
+	found := false
+	for tid, t := range r.cfg.Critical.Tasks {
+		if rel := t.ReleaseAt(r.criticalNext[tid]); rel < best {
+			best = rel
+			found = true
+		}
+	}
+	return best, found
+}
+
+// nextCriticalReleaseIfAny is nextCriticalRelease tolerating a nil set.
+func (r *runner) nextCriticalReleaseIfAny() (float64, bool) {
+	if r.cfg.Critical == nil {
+		return 0, false
+	}
+	return r.nextCriticalRelease()
+}
+
+// hasAdaptiveWork reports whether any trace-driven job is still active.
+func (r *runner) hasAdaptiveWork() bool {
+	for _, j := range r.active {
+		if j.ID >= 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// materializeCritical activates every critical job releasing at time rel.
+func (r *runner) materializeCritical(rel float64) {
+	for tid, t := range r.cfg.Critical.Tasks {
+		k := r.criticalNext[tid]
+		if math.Abs(t.ReleaseAt(k)-rel) > sched.Eps {
+			continue
+		}
+		r.criticalNext[tid] = k + 1
+		r.active = append(r.active, r.cfg.Critical.Release(r.cfg.Platform, tid, k))
+		r.res.CriticalJobs++
+	}
+}
+
+// upcomingCritical returns planning copies of the critical releases within
+// the adaptive decision window of jobs.
+func (r *runner) upcomingCritical(jobs []*sched.Job) []*sched.Job {
+	if r.cfg.Critical == nil {
+		return nil
+	}
+	horizon := r.now
+	for _, j := range jobs {
+		if j.AbsDeadline > horizon {
+			horizon = j.AbsDeadline
+		}
+	}
+	return r.cfg.Critical.UpcomingJobs(r.cfg.Platform, r.now, horizon)
+}
+
+// Run simulates tr under cfg and returns per-trace results. The trace must
+// be valid against cfg.TaskSet.
+func Run(cfg Config, tr *trace.Trace) (*Result, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if err := tr.Validate(cfg.TaskSet); err != nil {
+		return nil, err
+	}
+	if cfg.Predictor != nil {
+		cfg.Predictor.Reset()
+	}
+	r := &runner{
+		cfg: cfg,
+		res: &Result{Requests: tr.Len()},
+		rec: make([]JobRecord, tr.Len()),
+	}
+	if cfg.Critical != nil {
+		if err := cfg.Critical.Validate(cfg.Platform); err != nil {
+			return nil, err
+		}
+		r.criticalNext = make([]int, len(cfg.Critical.Tasks))
+	}
+	for idx, req := range tr.Requests {
+		r.rec[idx] = JobRecord{
+			ID:          idx,
+			Type:        req.Type,
+			Arrival:     req.Arrival,
+			AbsDeadline: req.Arrival + req.Deadline,
+		}
+		if err := r.advanceTo(req.Arrival); err != nil {
+			return nil, err
+		}
+
+		overhead := cfg.ExtraOverhead
+		if cfg.Predictor != nil {
+			overhead += cfg.Predictor.Overhead()
+		}
+		decisionTime := math.Max(r.now, req.Arrival+overhead)
+		if err := r.advanceTo(decisionTime); err != nil {
+			return nil, err
+		}
+
+		if cfg.Audit {
+			if err := r.auditState(idx); err != nil {
+				return nil, err
+			}
+		}
+
+		newJob := sched.NewJob(idx, cfg.TaskSet.Type(req.Type), req.Arrival, req.Deadline)
+		jobs := make([]*sched.Job, 0, len(r.active)+2)
+		jobs = append(jobs, r.active...)
+		jobs = append(jobs, newJob)
+		jobs = append(jobs, r.upcomingCritical(jobs)...)
+
+		if cfg.Predictor != nil {
+			cfg.Predictor.Observe(idx, req)
+			var preds []predict.Prediction
+			if mp, ok := cfg.Predictor.(predict.MultiPredictor); ok && cfg.Lookahead > 1 {
+				preds = mp.PredictK(cfg.Lookahead)
+			} else if pred, ok := cfg.Predictor.Predict(); ok {
+				preds = []predict.Prediction{pred}
+			}
+			for step, pred := range preds {
+				if pred.Type >= 0 && pred.Type < cfg.TaskSet.Len() && pred.Deadline > 0 {
+					pj := sched.NewJob(-1-step, cfg.TaskSet.Type(pred.Type), pred.Arrival, pred.Deadline)
+					pj.Predicted = true
+					jobs = append(jobs, pj)
+				}
+			}
+		}
+
+		problem := &sched.Problem{
+			Platform: cfg.Platform,
+			Time:     r.now,
+			Jobs:     jobs,
+			Policy:   cfg.Policy,
+		}
+		decision, admitted := core.Admit(cfg.Solver, problem)
+		if !admitted {
+			r.res.Rejected++
+			// Drop any stale reservation (its request has now arrived) but
+			// keep the standing mappings.
+			if err := r.replan(nil); err != nil {
+				return nil, err
+			}
+			continue
+		}
+		r.res.Accepted++
+		r.rec[idx].Accepted = true
+		r.apply(problem, decision, newJob)
+		var ghosts []ghostRef
+		for i, j := range problem.Jobs {
+			if j.Predicted && decision.Mapping[i] != sched.Unmapped {
+				ghosts = append(ghosts, ghostRef{job: j, res: decision.Mapping[i]})
+			}
+		}
+		if err := r.replan(ghosts); err != nil {
+			return nil, err
+		}
+	}
+	// Drain: run until all adaptive work finishes, serving critical
+	// releases along the way, then let already-released critical jobs run
+	// out.
+	for r.hasAdaptiveWork() {
+		rel, ok := r.nextCriticalReleaseIfAny()
+		if !ok {
+			break
+		}
+		r.advance(rel)
+		if r.hasAdaptiveWork() {
+			r.materializeCritical(rel)
+			if err := r.replan(nil); err != nil {
+				return nil, err
+			}
+		}
+	}
+	r.advance(math.Inf(1))
+	r.res.Jobs = r.rec
+	for _, segs := range r.exec {
+		r.res.Execution = append(r.res.Execution, segs...)
+	}
+	return r.res, nil
+}
+
+// auditState verifies the standing schedule is still feasible (Config.Audit).
+func (r *runner) auditState(beforeRequest int) error {
+	if len(r.active) == 0 {
+		return nil
+	}
+	p := &sched.Problem{Platform: r.cfg.Platform, Time: r.now, Jobs: r.active, Policy: r.cfg.Policy}
+	mapping := make([]int, len(r.active))
+	for i, j := range r.active {
+		mapping[i] = j.Resource
+	}
+	if !p.FeasibleMapping(mapping) {
+		return fmt.Errorf("sim: audit before request %d at t=%.6f: standing schedule infeasible; jobs=%v",
+			beforeRequest, r.now, r.active)
+	}
+	return nil
+}
+
+// apply installs an admission decision: remaps active jobs (charging
+// migrations) and activates the new job.
+func (r *runner) apply(p *sched.Problem, d core.Decision, newJob *sched.Job) {
+	for i, j := range p.Jobs {
+		if j.Predicted {
+			continue // planning constraint only (Sec 4.1)
+		}
+		target := d.Mapping[i]
+		if target == sched.Unmapped {
+			// Cannot happen for an admitted decision; guard loudly.
+			panic(fmt.Sprintf("sim: admitted decision leaves %v unmapped", j))
+		}
+		if j.Resource != sched.Unmapped && j.Resource != target {
+			charged := j.Started || p.Policy == sched.ChargeAlways
+			if charged {
+				j.MigDebt += j.Type.MigTime
+				rec := &r.rec[j.ID]
+				rec.Migrations++
+				rec.Energy += j.Type.MigEnergy
+				r.res.Migrations++
+				r.res.MigrationEnergy += j.Type.MigEnergy
+				r.res.TotalEnergy += j.Type.MigEnergy
+			}
+		}
+		j.Resource = target
+	}
+	r.active = append(r.active, newJob)
+}
+
+// ghostRef is one mapped predicted job carried into the standing plan.
+type ghostRef struct {
+	job *sched.Job
+	res int
+}
+
+// replan rebuilds the standing schedule from the active jobs' current
+// mappings, optionally reserving capacity for the mapped predicted jobs.
+// A failure to reconstruct a feasible schedule means the RM's invariant
+// broke; it is surfaced as an error.
+func (r *runner) replan(ghosts []ghostRef) error {
+	if r.cfg.WorkConserving {
+		return nil // greedy dispatch reads job state directly
+	}
+	jobs := make([]*sched.Job, 0, len(r.active)+len(ghosts))
+	jobs = append(jobs, r.active...)
+	mapping := make([]int, 0, cap(jobs))
+	for _, j := range jobs {
+		mapping = append(mapping, j.Resource)
+	}
+	for _, g := range ghosts {
+		jobs = append(jobs, g.job)
+		mapping = append(mapping, g.res)
+	}
+	if len(jobs) == 0 {
+		r.plan = nil
+		return nil
+	}
+	p := &sched.Problem{Platform: r.cfg.Platform, Time: r.now, Jobs: jobs, Policy: r.cfg.Policy}
+	segsByRes, ok := p.Schedule(mapping)
+	if !ok {
+		return fmt.Errorf("sim: replan at t=%.6f produced an infeasible schedule (RM invariant broken); jobs=%v",
+			r.now, jobs)
+	}
+	plan := make([][]planSeg, r.cfg.Platform.Len())
+	for res, segs := range segsByRes {
+		for _, s := range segs {
+			ps := planSeg{start: s.Start, end: s.End}
+			if !jobs[s.Index].Predicted {
+				ps.job = jobs[s.Index]
+			}
+			plan[res] = append(plan[res], ps)
+		}
+	}
+	r.plan = plan
+	return nil
+}
+
+// advance executes the standing schedule up to time target.
+func (r *runner) advance(target float64) {
+	if r.cfg.WorkConserving {
+		r.advanceGreedy(target)
+		return
+	}
+	for r.now < target-sched.Eps {
+		if len(r.active) == 0 {
+			break // reap keeps only unfinished jobs
+		}
+		type action struct {
+			res int
+			job *sched.Job
+		}
+		var acts []action
+		step := math.Inf(1)
+		if !math.IsInf(target, 1) {
+			step = target - r.now
+		}
+		for res, segs := range r.plan {
+			for _, s := range segs {
+				if s.end <= r.now+sched.Eps {
+					continue // past
+				}
+				if s.job != nil && s.job.Done() {
+					continue // completed (slightly early by rounding)
+				}
+				if s.start > r.now+sched.Eps {
+					// Idle until the next segment starts.
+					if d := s.start - r.now; d < step {
+						step = d
+					}
+					break
+				}
+				if s.job == nil {
+					// Inside a ghost reservation: idle through it.
+					if d := s.end - r.now; d < step {
+						step = d
+					}
+					break
+				}
+				need := s.job.MigDebt + s.job.Frac*s.job.Type.WCET[res]
+				bound := math.Min(need, s.end-r.now)
+				if bound < step {
+					step = bound
+				}
+				acts = append(acts, action{res, s.job})
+				break
+			}
+		}
+		if len(acts) == 0 && math.IsInf(step, 1) {
+			break // no runnable segment and no upcoming boundary
+		}
+		if step <= 0 {
+			step = sched.Eps
+		}
+		for _, a := range acts {
+			r.execute(a.job, a.res, step)
+		}
+		r.now += step
+		r.reap()
+	}
+	if !math.IsInf(target, 1) && target > r.now {
+		r.now = target
+	}
+}
+
+// advanceGreedy executes work-conserving EDF dispatch up to target
+// (Config.WorkConserving).
+func (r *runner) advanceGreedy(target float64) {
+	for r.now < target-sched.Eps {
+		// Pick each resource's EDF head.
+		heads := make(map[int]*sched.Job, r.cfg.Platform.Len())
+		for _, j := range r.active {
+			if j.Done() || j.Resource == sched.Unmapped {
+				continue
+			}
+			cur, ok := heads[j.Resource]
+			if !ok {
+				heads[j.Resource] = j
+				continue
+			}
+			heads[j.Resource] = preferHead(r.cfg.Platform, cur, j)
+		}
+		if len(heads) == 0 {
+			break // idle until target
+		}
+		// Next event: earliest head completion, capped at target.
+		step := target - r.now
+		for res, j := range heads {
+			need := j.MigDebt + j.Frac*j.Type.WCET[res]
+			if need < step {
+				step = need
+			}
+		}
+		if step <= 0 {
+			step = sched.Eps
+		}
+		for res, j := range heads {
+			r.execute(j, res, step)
+		}
+		r.now += step
+		r.reap()
+	}
+	if !math.IsInf(target, 1) && target > r.now {
+		r.now = target
+	}
+}
+
+// preferHead picks which of two jobs on the same resource runs now: the
+// mid-execution occupant on non-preemptable resources, otherwise the
+// earlier deadline (ties: lower ID, deterministic).
+func preferHead(p *platform.Platform, a, b *sched.Job) *sched.Job {
+	if !p.Resource(a.Resource).Preemptable() {
+		ao := a.ExecRes == a.Resource
+		bo := b.ExecRes == b.Resource
+		if ao != bo {
+			if ao {
+				return a
+			}
+			return b
+		}
+	}
+	if a.AbsDeadline != b.AbsDeadline {
+		if a.AbsDeadline < b.AbsDeadline {
+			return a
+		}
+		return b
+	}
+	if a.ID <= b.ID {
+		return a
+	}
+	return b
+}
+
+// execute serves dt time of job j on resource res: migration debt first,
+// then useful work with energy accounting.
+func (r *runner) execute(j *sched.Job, res int, dt float64) {
+	j.Started = true
+	j.ExecRes = res
+	if r.cfg.RecordExecution {
+		r.record(res, j.ID, dt)
+	}
+	if j.MigDebt > 0 {
+		served := math.Min(j.MigDebt, dt)
+		j.MigDebt -= served
+		dt -= served
+		if j.MigDebt < sched.Eps {
+			j.MigDebt = 0
+		}
+		if dt <= 0 {
+			return
+		}
+	}
+	wcet := j.Type.WCET[res]
+	frac := dt / wcet
+	if frac > j.Frac {
+		frac = j.Frac
+	}
+	j.Frac -= frac
+	energy := j.Type.Energy[res] * frac
+	if j.ID >= 0 {
+		r.rec[j.ID].Energy += energy
+		r.res.TotalEnergy += energy
+	} else {
+		r.res.CriticalEnergy += energy
+	}
+	if j.Frac < sched.Eps {
+		j.Frac = 0
+	}
+}
+
+// record appends execution time to the per-resource trace, merging
+// contiguous segments of the same job.
+func (r *runner) record(res, jobID int, dt float64) {
+	if r.exec == nil {
+		r.exec = make([][]ExecSegment, r.cfg.Platform.Len())
+	}
+	segs := r.exec[res]
+	if n := len(segs); n > 0 {
+		last := &segs[n-1]
+		if last.JobID == jobID && last.End >= r.now-sched.Eps {
+			last.End = r.now + dt
+			return
+		}
+	}
+	r.exec[res] = append(segs, ExecSegment{
+		Resource: res, JobID: jobID, Start: r.now, End: r.now + dt,
+	})
+}
+
+// reap retires completed jobs, auditing the deadline invariant.
+func (r *runner) reap() {
+	kept := r.active[:0]
+	for _, j := range r.active {
+		if !j.Done() {
+			kept = append(kept, j)
+			continue
+		}
+		if j.ID < 0 {
+			// Critical job: only the deadline audit applies.
+			if r.now > j.AbsDeadline+1e-6 {
+				r.res.CriticalMisses++
+			}
+			continue
+		}
+		rec := &r.rec[j.ID]
+		rec.FinishTime = r.now
+		if r.now > j.AbsDeadline+1e-6 {
+			rec.MissedDeadline = true
+			r.res.DeadlineMisses++
+		}
+		if r.now > r.res.MakeSpan {
+			r.res.MakeSpan = r.now
+		}
+	}
+	r.active = kept
+}
