@@ -1,0 +1,23 @@
+GO ?= go
+
+.PHONY: check build test vet race bench
+
+# check is the repo gate: vet, build everything, and run the full test
+# suite under the race detector (the telemetry layer is concurrency-safe
+# by contract).
+check: vet build race
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+bench:
+	$(GO) test -bench=. -benchmem ./...

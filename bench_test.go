@@ -13,7 +13,14 @@ package predrm_test
 import (
 	"testing"
 
+	"predrm/internal/core"
 	"predrm/internal/experiments"
+	"predrm/internal/platform"
+	"predrm/internal/predict"
+	"predrm/internal/rng"
+	"predrm/internal/sim"
+	"predrm/internal/task"
+	"predrm/internal/telemetry"
 	"predrm/internal/trace"
 )
 
@@ -167,6 +174,66 @@ func BenchmarkLookahead(b *testing.B) {
 		b.ReportMetric(r.Rej[2].Mean, "k3-rej%")
 	}
 }
+
+// benchSim runs one seeded simulation per iteration: 300 VT requests with
+// perfect prediction under the heuristic engine. With instrument=false the
+// telemetry hooks take their no-op path (nil tracer and registry); with
+// instrument=true every event is ring-buffered and every metric recorded.
+// Comparing BenchmarkRun against BenchmarkRunWithTelemetry bounds the cost
+// of full instrumentation; BenchmarkRun itself exercises the disabled path,
+// whose only cost over uninstrumented code is nil checks (<5% of sim.Run).
+func benchSim(b *testing.B, instrument bool) {
+	plat := platform.Default()
+	set, err := task.Generate(plat, task.DefaultGenConfig(), rng.New(21))
+	if err != nil {
+		b.Fatal(err)
+	}
+	tr, err := trace.Generate(set, trace.GenConfig{
+		Length:           300,
+		InterarrivalMean: 2.2,
+		InterarrivalStd:  0.7,
+		Tightness:        trace.VeryTight,
+	}, rng.New(22))
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		oracle, err := predict.NewOracle(tr, predict.OracleConfig{
+			TypeAccuracy: 1,
+			NumTypes:     set.Len(),
+			Seed:         23,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		cfg := sim.Config{
+			Platform:  plat,
+			TaskSet:   set,
+			Solver:    &core.Heuristic{},
+			Predictor: oracle,
+		}
+		if instrument {
+			cfg.Tracer = telemetry.NewTracer(telemetry.TracerOptions{})
+			cfg.Metrics = telemetry.NewRegistry()
+		}
+		res, err := sim.Run(cfg, tr)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.Requests != tr.Len() {
+			b.Fatalf("requests: got %d, want %d", res.Requests, tr.Len())
+		}
+	}
+}
+
+// BenchmarkRun measures sim.Run with telemetry disabled (the no-op path).
+func BenchmarkRun(b *testing.B) { benchSim(b, false) }
+
+// BenchmarkRunWithTelemetry measures sim.Run with a ring tracer and a
+// metrics registry attached — the full instrumentation cost.
+func BenchmarkRunWithTelemetry(b *testing.B) { benchSim(b, true) }
 
 // BenchmarkOnlinePredictors regenerates ablation A3.
 func BenchmarkOnlinePredictors(b *testing.B) {

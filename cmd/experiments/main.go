@@ -9,18 +9,27 @@
 //
 // Experiment ids: motivational, milp-vs-heuristic, fig2a, fig2b, fig3a,
 // fig3b, fig4a, fig4b, fig5, ablation-regret, ablation-migration,
-// online-predictors, lookahead, baseline-static, load-surface, all.
+// online-predictors, lookahead, baseline-static, load-surface, telemetry,
+// all.
+//
+// Observability: -metrics-out writes the merged telemetry snapshot of the
+// experiments that collect one (currently "telemetry") as JSON, and
+// -cpuprofile/-memprofile capture runtime/pprof profiles of the whole run.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 	"path/filepath"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 	"time"
 
 	"predrm/internal/experiments"
+	"predrm/internal/telemetry"
 	"predrm/internal/trace"
 )
 
@@ -33,6 +42,10 @@ func main() {
 		profile  = flag.String("profile", "calibrated", "workload profile: calibrated or paper")
 		nodes    = flag.Int("exact-nodes", 0, "exact-solver node limit per activation (0 = default)")
 		csvDir   = flag.String("csv", "", "also write each table as CSV into this directory")
+
+		metricsOut = flag.String("metrics-out", "", "write the merged telemetry snapshot as JSON to this file")
+		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
+		memProfile = flag.String("memprofile", "", "write a heap profile taken after the run to this file")
 	)
 	flag.Parse()
 
@@ -58,15 +71,28 @@ func main() {
 			"impact-lt", "impact-vt",
 			"fig4a", "fig4b", "fig5",
 			"ablation-regret", "ablation-migration", "online-predictors",
-			"lookahead", "baseline-static", "load-surface",
+			"lookahead", "baseline-static", "load-surface", "telemetry",
+		}
+	}
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fatalf("cpuprofile: %v", err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fatalf("cpuprofile: %v", err)
 		}
 	}
 	start := time.Now()
+	var snaps []*telemetry.Snapshot
 	for _, id := range ids {
 		id = strings.TrimSpace(id)
-		tables, err := run(id, cfg)
+		tables, snap, err := run(id, cfg)
 		if err != nil {
 			fatalf("%s: %v", id, err)
+		}
+		if snap != nil {
+			snaps = append(snaps, snap)
 		}
 		for _, t := range tables {
 			if err := t.Fprint(os.Stdout); err != nil {
@@ -79,105 +105,139 @@ func main() {
 			}
 		}
 	}
+	if *cpuProfile != "" {
+		pprof.StopCPUProfile()
+	}
+	if *memProfile != "" {
+		f, err := os.Create(*memProfile)
+		if err != nil {
+			fatalf("memprofile: %v", err)
+		}
+		runtime.GC() // settle the heap so the profile reflects retained memory
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			fatalf("memprofile: %v", err)
+		}
+		if err := f.Close(); err != nil {
+			fatalf("memprofile: %v", err)
+		}
+	}
+	if *metricsOut != "" {
+		merged := telemetry.Merge(snaps...)
+		buf, err := json.MarshalIndent(merged, "", "  ")
+		if err != nil {
+			fatalf("metrics-out: %v", err)
+		}
+		if err := os.WriteFile(*metricsOut, append(buf, '\n'), 0o644); err != nil {
+			fatalf("metrics-out: %v", err)
+		}
+	}
 	fmt.Printf("done in %v (profile=%s, %d traces x %d requests)\n",
 		time.Since(start).Round(time.Millisecond), cfg.Profile.Name, cfg.Traces, cfg.TraceLen)
 }
 
-func run(id string, cfg experiments.Config) ([]*experiments.Table, error) {
+// run executes one experiment and returns its tables plus, for
+// telemetry-collecting experiments, the merged metrics snapshot.
+func run(id string, cfg experiments.Config) ([]*experiments.Table, *telemetry.Snapshot, error) {
 	sweep := []float64{0.25, 0.5, 0.75, 1.0}
 	switch id {
 	case "motivational":
 		r, err := experiments.Motivational()
 		if err != nil {
-			return nil, err
+			return nil, nil, err
 		}
-		return []*experiments.Table{r.Table}, nil
+		return []*experiments.Table{r.Table}, nil, nil
 	case "milp-vs-heuristic":
 		r, err := experiments.MILPvsHeuristic(cfg)
 		if err != nil {
-			return nil, err
+			return nil, nil, err
 		}
-		return []*experiments.Table{r.Table}, nil
+		return []*experiments.Table{r.Table}, nil, nil
 	case "fig2a", "fig3b", "impact-lt":
 		r, err := experiments.PredictionImpact(cfg, trace.LessTight)
 		if err != nil {
-			return nil, err
+			return nil, nil, err
 		}
 		switch id {
 		case "fig2a":
-			return []*experiments.Table{r.RejectionTable}, nil
+			return []*experiments.Table{r.RejectionTable}, nil, nil
 		case "fig3b":
-			return []*experiments.Table{r.EnergyTable}, nil
+			return []*experiments.Table{r.EnergyTable}, nil, nil
 		}
-		return []*experiments.Table{r.RejectionTable, r.EnergyTable}, nil
+		return []*experiments.Table{r.RejectionTable, r.EnergyTable}, nil, nil
 	case "fig2b", "fig3a", "impact-vt":
 		r, err := experiments.PredictionImpact(cfg, trace.VeryTight)
 		if err != nil {
-			return nil, err
+			return nil, nil, err
 		}
 		switch id {
 		case "fig2b":
-			return []*experiments.Table{r.RejectionTable}, nil
+			return []*experiments.Table{r.RejectionTable}, nil, nil
 		case "fig3a":
-			return []*experiments.Table{r.EnergyTable}, nil
+			return []*experiments.Table{r.EnergyTable}, nil, nil
 		}
-		return []*experiments.Table{r.RejectionTable, r.EnergyTable}, nil
+		return []*experiments.Table{r.RejectionTable, r.EnergyTable}, nil, nil
 	case "fig4a":
 		r, err := experiments.Fig4a(cfg, sweep)
 		if err != nil {
-			return nil, err
+			return nil, nil, err
 		}
-		return []*experiments.Table{r.Table}, nil
+		return []*experiments.Table{r.Table}, nil, nil
 	case "fig4b":
 		r, err := experiments.Fig4b(cfg, sweep)
 		if err != nil {
-			return nil, err
+			return nil, nil, err
 		}
-		return []*experiments.Table{r.Table}, nil
+		return []*experiments.Table{r.Table}, nil, nil
 	case "fig5":
 		r, err := experiments.Fig5(cfg, []float64{0, 0.01, 0.02, 0.04, 0.08, 0.25, 0.5, 1.0})
 		if err != nil {
-			return nil, err
+			return nil, nil, err
 		}
-		return []*experiments.Table{r.Table}, nil
+		return []*experiments.Table{r.Table}, nil, nil
 	case "ablation-regret":
 		r, err := experiments.AblationRegret(cfg)
 		if err != nil {
-			return nil, err
+			return nil, nil, err
 		}
-		return []*experiments.Table{r.Table}, nil
+		return []*experiments.Table{r.Table}, nil, nil
 	case "ablation-migration":
 		r, err := experiments.AblationMigration(cfg)
 		if err != nil {
-			return nil, err
+			return nil, nil, err
 		}
-		return []*experiments.Table{r.Table}, nil
+		return []*experiments.Table{r.Table}, nil, nil
 	case "baseline-static":
 		r, err := experiments.BaselineStatic(cfg)
 		if err != nil {
-			return nil, err
+			return nil, nil, err
 		}
-		return []*experiments.Table{r.Table}, nil
+		return []*experiments.Table{r.Table}, nil, nil
 	case "lookahead":
 		r, err := experiments.LookaheadSweep(cfg, []int{1, 2, 3, 4})
 		if err != nil {
-			return nil, err
+			return nil, nil, err
 		}
-		return []*experiments.Table{r.Table}, nil
+		return []*experiments.Table{r.Table}, nil, nil
 	case "online-predictors":
 		r, err := experiments.OnlinePredictors(cfg)
 		if err != nil {
-			return nil, err
+			return nil, nil, err
 		}
-		return []*experiments.Table{r.Table}, nil
+		return []*experiments.Table{r.Table}, nil, nil
+	case "telemetry":
+		r, err := experiments.TelemetryProbe(cfg)
+		if err != nil {
+			return nil, nil, err
+		}
+		return []*experiments.Table{r.Table}, r.Merged, nil
 	case "load-surface":
 		r, err := experiments.LoadSurface(cfg, []float64{1.2, 1.7, 2.2, 3.0, 4.5})
 		if err != nil {
-			return nil, err
+			return nil, nil, err
 		}
-		return []*experiments.Table{r.Table}, nil
+		return []*experiments.Table{r.Table}, nil, nil
 	default:
-		return nil, fmt.Errorf("unknown experiment id %q", id)
+		return nil, nil, fmt.Errorf("unknown experiment id %q", id)
 	}
 }
 

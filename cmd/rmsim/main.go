@@ -5,16 +5,26 @@
 //
 //	rmsim -engine heuristic -predict -accuracy 0.9 -seed 1
 //	rmsim -taskset traces/taskset.json -trace traces/trace-VT-000.json -engine milp -gantt 60
+//	rmsim -predict -trace-out events.jsonl -metrics-out metrics.json -cpuprofile cpu.pprof
 //
 // A trace produced by tracegen should be loaded together with its
 // taskset.json (task-set generation is part of the workload's identity);
 // without -taskset, rmsim regenerates the set from -seed and -types.
+//
+// Observability: -trace-out streams the structured simulation event log as
+// JSONL (see the README's Observability section for the schema),
+// -metrics-out writes the run's metrics snapshot as JSON and prints a
+// solver-latency summary, and -cpuprofile/-memprofile write runtime/pprof
+// profiles of the simulation.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 
 	"predrm/internal/core"
 	"predrm/internal/exact"
@@ -24,6 +34,7 @@ import (
 	"predrm/internal/rng"
 	"predrm/internal/sim"
 	"predrm/internal/task"
+	"predrm/internal/telemetry"
 	"predrm/internal/trace"
 )
 
@@ -44,8 +55,14 @@ func main() {
 		workCons  = flag.Bool("work-conserving", false, "ignore predicted-task reservations between activations")
 		verbose   = flag.Bool("v", false, "print per-request outcomes")
 		showGantt = flag.Int("gantt", 0, "render the first N time units of the executed schedule")
+
+		traceOut   = flag.String("trace-out", "", "write the structured event stream as JSONL to this file")
+		metricsOut = flag.String("metrics-out", "", "write the metrics snapshot as JSON to this file")
+		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile of the simulation to this file")
+		memProfile = flag.String("memprofile", "", "write a heap profile taken after the simulation to this file")
 	)
 	flag.Parse()
+	validateFlags(*usePred, *accuracy, *timeErr, *overhead, *length, *types, *meanIA, *showGantt, *group)
 
 	root := rng.New(*seed)
 	var (
@@ -123,9 +140,67 @@ func main() {
 		cfg.Predictor = o
 	}
 
+	var (
+		tracer    *telemetry.Tracer
+		traceFile *os.File
+	)
+	if *traceOut != "" {
+		traceFile, err = os.Create(*traceOut)
+		if err != nil {
+			fatalf("trace-out: %v", err)
+		}
+		tracer = telemetry.NewTracer(telemetry.TracerOptions{Sink: traceFile})
+		cfg.Tracer = tracer
+	}
+	if *metricsOut != "" {
+		cfg.Metrics = telemetry.NewRegistry()
+	}
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fatalf("cpuprofile: %v", err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fatalf("cpuprofile: %v", err)
+		}
+	}
+
 	res, err := sim.Run(cfg, tr)
+	if *cpuProfile != "" {
+		pprof.StopCPUProfile()
+	}
 	if err != nil {
 		fatalf("simulate: %v", err)
+	}
+	if tracer != nil {
+		if err := tracer.Flush(); err != nil {
+			fatalf("trace-out: %v", err)
+		}
+		if err := traceFile.Close(); err != nil {
+			fatalf("trace-out: %v", err)
+		}
+	}
+	if *memProfile != "" {
+		f, err := os.Create(*memProfile)
+		if err != nil {
+			fatalf("memprofile: %v", err)
+		}
+		runtime.GC() // settle the heap so the profile reflects retained memory
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			fatalf("memprofile: %v", err)
+		}
+		if err := f.Close(); err != nil {
+			fatalf("memprofile: %v", err)
+		}
+	}
+	if *metricsOut != "" {
+		buf, err := json.MarshalIndent(res.Telemetry, "", "  ")
+		if err != nil {
+			fatalf("metrics-out: %v", err)
+		}
+		if err := os.WriteFile(*metricsOut, append(buf, '\n'), 0o644); err != nil {
+			fatalf("metrics-out: %v", err)
+		}
 	}
 
 	if *verbose {
@@ -146,6 +221,11 @@ func main() {
 	fmt.Printf("migrations:       %d (%.2f J)\n", res.Migrations, res.MigrationEnergy)
 	fmt.Printf("makespan:         %.2f\n", res.MakeSpan)
 	fmt.Printf("deadline misses:  %d\n", res.DeadlineMisses)
+	if res.Telemetry != nil {
+		lat := res.Telemetry.Histograms["sim.solver_seconds"]
+		fmt.Printf("solver latency:   p50 %.1f µs, p95 %.1f µs, max %.1f µs (%d activations)\n",
+			lat.Quantile(0.50)*1e6, lat.Quantile(0.95)*1e6, lat.Max*1e6, lat.Count)
+	}
 	if *showGantt > 0 {
 		var opening []sim.ExecSegment
 		for _, seg := range res.Execution {
@@ -166,6 +246,53 @@ func main() {
 	if res.DeadlineMisses > 0 {
 		fatalf("deadline misses detected: resource-manager invariant broken")
 	}
+}
+
+// validateFlags rejects combinations the simulation would otherwise
+// silently misinterpret: prediction-shaping flags are errors without
+// -predict (they would be read but have no effect), and workload
+// parameters must stay in their meaningful ranges.
+func validateFlags(usePred bool, accuracy, timeErr, overhead float64, length, types int, meanIA float64, ganttLen int, group string) {
+	if !usePred {
+		for _, name := range []string{"accuracy", "time-error", "overhead"} {
+			if flagWasSet(name) {
+				fatalf("-%s has no effect without -predict", name)
+			}
+		}
+	}
+	switch {
+	case accuracy < 0 || accuracy > 1:
+		fatalf("-accuracy %g outside [0,1]", accuracy)
+	case timeErr < 0:
+		fatalf("-time-error %g must be non-negative", timeErr)
+	case overhead < 0:
+		fatalf("-overhead %g must be non-negative", overhead)
+	case length <= 0:
+		fatalf("-len %d must be positive", length)
+	case types <= 0:
+		fatalf("-types %d must be positive", types)
+	case meanIA <= 0:
+		fatalf("-interarrival %g must be positive", meanIA)
+	case ganttLen < 0:
+		fatalf("-gantt %d must be non-negative", ganttLen)
+	}
+	switch group {
+	case "VT", "vt", "LT", "lt":
+	default:
+		fatalf("unknown deadline group %q (want VT or LT)", group)
+	}
+}
+
+// flagWasSet reports whether the named flag was given explicitly on the
+// command line (flag.Visit only walks flags that were set).
+func flagWasSet(name string) bool {
+	set := false
+	flag.Visit(func(f *flag.Flag) {
+		if f.Name == name {
+			set = true
+		}
+	})
+	return set
 }
 
 func fatalf(format string, args ...any) {

@@ -16,6 +16,7 @@ import (
 
 	"predrm/internal/sched"
 	"predrm/internal/task"
+	"predrm/internal/telemetry"
 )
 
 // bigM is the Algorithm 1 penalty making a resource undesirable when the
@@ -48,12 +49,27 @@ type Heuristic struct {
 	// index order instead (ablation A1). The per-resource capacity and
 	// schedulability machinery is unchanged.
 	Greedy bool
+
+	// Telemetry instruments (nil-safe no-ops until AttachMetrics).
+	solves, infeasible *telemetry.Counter
+	problemJobs        *telemetry.Histogram
 }
 
 var _ Solver = (*Heuristic)(nil)
+var _ telemetry.Instrumentable = (*Heuristic)(nil)
+
+// AttachMetrics registers the heuristic's instruments on reg: counters
+// core.solves and core.infeasible, histogram core.problem_jobs.
+func (h *Heuristic) AttachMetrics(reg *telemetry.Registry) {
+	h.solves = reg.Counter("core.solves")
+	h.infeasible = reg.Counter("core.infeasible")
+	h.problemJobs = reg.Histogram("core.problem_jobs", telemetry.CountBuckets)
+}
 
 // Solve runs Algorithm 1 on p.
 func (h *Heuristic) Solve(p *sched.Problem) Decision {
+	h.solves.Inc()
+	h.problemJobs.Observe(float64(len(p.Jobs)))
 	n := p.Platform.Len()
 	jobs := p.Jobs
 	mapping := make([]int, len(jobs))
@@ -141,6 +157,7 @@ func (h *Heuristic) Solve(p *sched.Problem) Decision {
 			pick = 0
 			pickSet = feasibleSet(unassigned[0])
 			if len(pickSet) == 0 {
+				h.infeasible.Inc()
 				return Decision{Mapping: mapping, Feasible: false}
 			}
 		} else {
@@ -149,6 +166,7 @@ func (h *Heuristic) Solve(p *sched.Problem) Decision {
 				fs := feasibleSet(jobIdx)
 				if len(fs) == 0 {
 					// Line 22: no solution.
+					h.infeasible.Inc()
 					return Decision{Mapping: mapping, Feasible: false}
 				}
 				best, second := math.Inf(1), math.Inf(1)
@@ -191,6 +209,7 @@ func (h *Heuristic) Solve(p *sched.Problem) Decision {
 		}
 		if !placed {
 			// Lines 31-32: no more resources.
+			h.infeasible.Inc()
 			return Decision{Mapping: mapping, Feasible: false}
 		}
 	}

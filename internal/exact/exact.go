@@ -23,6 +23,7 @@ import (
 	"predrm/internal/core"
 	"predrm/internal/sched"
 	"predrm/internal/task"
+	"predrm/internal/telemetry"
 )
 
 // DefaultNodeLimit bounds the branch-and-bound tree per solve. Typical
@@ -47,6 +48,10 @@ type Optimal struct {
 	NodeLimit int
 	// LastStats describes the most recent Solve call.
 	LastStats Stats
+
+	// Telemetry instruments (nil-safe no-ops until AttachMetrics).
+	mSolves, mTruncated, mInfeasible *telemetry.Counter
+	mNodes                           *telemetry.Histogram
 
 	// Scratch state for the current solve. entries is kept sorted per
 	// resource (pinned occupant first, then non-decreasing deadline) so
@@ -116,6 +121,17 @@ func (o *Optimal) feasible(res int) bool {
 }
 
 var _ core.Solver = (*Optimal)(nil)
+var _ telemetry.Instrumentable = (*Optimal)(nil)
+
+// AttachMetrics registers the solver's instruments on reg: counters
+// exact.solves, exact.truncated, and exact.infeasible, plus the histogram
+// exact.nodes (branch-and-bound nodes per solve).
+func (o *Optimal) AttachMetrics(reg *telemetry.Registry) {
+	o.mSolves = reg.Counter("exact.solves")
+	o.mTruncated = reg.Counter("exact.truncated")
+	o.mInfeasible = reg.Counter("exact.infeasible")
+	o.mNodes = reg.Histogram("exact.nodes", telemetry.NodeBuckets)
+}
 
 // Solve returns the minimum-energy feasible mapping of p, or an infeasible
 // decision when none exists.
@@ -159,6 +175,8 @@ func (o *Optimal) Solve(p *sched.Problem) core.Decision {
 	for r := 0; r < n; r++ {
 		if len(o.entries[r]) > 0 && !o.feasible(r) {
 			o.LastStats = Stats{}
+			o.mSolves.Inc()
+			o.mInfeasible.Inc()
 			return core.Decision{Mapping: o.mapping, Feasible: false}
 		}
 	}
@@ -180,7 +198,13 @@ func (o *Optimal) Solve(p *sched.Problem) core.Decision {
 	o.dfs(0, pinnedEnergy)
 
 	o.LastStats = Stats{Nodes: o.nodes, Truncated: o.nodes >= o.limit}
+	o.mSolves.Inc()
+	o.mNodes.Observe(float64(o.nodes))
+	if o.LastStats.Truncated {
+		o.mTruncated.Inc()
+	}
 	if !o.found {
+		o.mInfeasible.Inc()
 		return core.Decision{Mapping: o.mapping, Feasible: false}
 	}
 	return core.Decision{Mapping: o.bestMap, Feasible: true, Energy: o.bestE}

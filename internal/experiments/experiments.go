@@ -20,6 +20,7 @@ import (
 	"predrm/internal/sched"
 	"predrm/internal/sim"
 	"predrm/internal/task"
+	"predrm/internal/telemetry"
 	"predrm/internal/trace"
 )
 
@@ -150,6 +151,9 @@ type variant struct {
 	// from the task set (the quasi-static baseline needs its design-time
 	// table).
 	solver func(set *task.Set) core.Solver
+	// telemetry attaches a fresh metrics registry to every simulation and
+	// carries its snapshot into the trace result (the telemetry report).
+	telemetry bool
 }
 
 // traceResult is one (trace, variant) outcome.
@@ -159,6 +163,8 @@ type traceResult struct {
 	Accepted  int
 	Misses    int
 	Truncated bool
+	// Telemetry is the per-trace metrics snapshot (variant.telemetry).
+	Telemetry *telemetry.Snapshot
 }
 
 // grid holds results indexed [variant][trace].
@@ -287,6 +293,9 @@ func runOne(cfg Config, plat *platform.Platform, set *task.Set, tr *trace.Trace,
 	if v.solver != nil {
 		scfg.Solver = v.solver(set)
 	}
+	if v.telemetry {
+		scfg.Metrics = telemetry.NewRegistry()
+	}
 	switch {
 	case v.online != nil:
 		scfg.Predictor = v.online(set.Len())
@@ -308,10 +317,11 @@ func runOne(cfg Config, plat *platform.Platform, set *task.Set, tr *trace.Trace,
 		return traceResult{}, err
 	}
 	return traceResult{
-		RejPct:   res.RejectionPct(),
-		Energy:   res.TotalEnergy,
-		Accepted: res.Accepted,
-		Misses:   res.DeadlineMisses,
+		RejPct:    res.RejectionPct(),
+		Energy:    res.TotalEnergy,
+		Accepted:  res.Accepted,
+		Misses:    res.DeadlineMisses,
+		Telemetry: res.Telemetry,
 	}, nil
 }
 

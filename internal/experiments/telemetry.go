@@ -1,0 +1,81 @@
+package experiments
+
+import (
+	"fmt"
+
+	"predrm/internal/metrics"
+	"predrm/internal/telemetry"
+	"predrm/internal/trace"
+)
+
+// TelemetryResult is the per-run observability report: for each simulated
+// variant, the merged (across traces) metrics snapshot and a printable
+// summary of solver latency, admission outcomes, migrations, and
+// reservation behaviour.
+type TelemetryResult struct {
+	// Table summarises the merged snapshots, one row per variant.
+	Table *Table
+	// PerVariant maps a variant name to its merged snapshot.
+	PerVariant map[string]*telemetry.Snapshot
+	// Merged combines all variants' snapshots (the run total), e.g. for
+	// cmd/experiments -metrics-out.
+	Merged *telemetry.Snapshot
+}
+
+// TelemetryProbe runs the core engine matrix (heuristic and exact, with
+// and without perfect prediction) over the VT group with full metrics
+// collection and aggregates the per-trace snapshots into a per-run
+// telemetry report. This is the measured baseline future performance work
+// is judged against: it exposes where activation time actually goes
+// (solver vs schedulability vs trace advancement) and how often
+// reservations pay off.
+func TelemetryProbe(cfg Config) (*TelemetryResult, error) {
+	variants := []variant{
+		{name: "heuristic", engine: engineHeuristic, telemetry: true},
+		{name: "heuristic+pred", engine: engineHeuristic, predict: accurate(), telemetry: true},
+		{name: "MILP", engine: engineExact, telemetry: true},
+		{name: "MILP+pred", engine: engineExact, predict: accurate(), telemetry: true},
+	}
+	g, err := runGrid(cfg, trace.VeryTight, variants)
+	if err != nil {
+		return nil, err
+	}
+
+	res := &TelemetryResult{PerVariant: make(map[string]*telemetry.Snapshot, len(variants))}
+	table := &Table{
+		Title: fmt.Sprintf("Telemetry report: per-activation solver latency and RM decision metrics (VT, %s profile)", cfg.Profile.Name),
+		Header: []string{"variant", "solves", "lat p50 µs", "lat p95 µs", "lat max µs",
+			"rejected", "migrations", "resv planned", "resv honoured"},
+		Notes: []string{
+			"latency percentiles are bucket-interpolated from sim.solver_seconds",
+			"resv honoured counts reservations held idle until the next activation (plan mode)",
+		},
+	}
+	var all []*telemetry.Snapshot
+	for vi, v := range variants {
+		snaps := make([]*telemetry.Snapshot, 0, len(g.results[vi]))
+		for _, tr := range g.results[vi] {
+			snaps = append(snaps, tr.Telemetry)
+		}
+		merged := telemetry.Merge(snaps...)
+		res.PerVariant[v.name] = merged
+		all = append(all, merged)
+
+		lat := merged.Histograms["sim.solver_seconds"]
+		latSample := metrics.FromHistogram(lat)
+		us := func(sec float64) string { return f1(sec * 1e6) }
+		table.AddRow(v.name,
+			fmt.Sprintf("%d", latSample.N),
+			us(lat.Quantile(0.50)),
+			us(lat.Quantile(0.95)),
+			us(latSample.Max),
+			fmt.Sprintf("%d", merged.Counters["sim.rejected"]),
+			fmt.Sprintf("%d", merged.Counters["sim.migrations"]),
+			fmt.Sprintf("%d", merged.Counters["sim.reservations_planned"]),
+			fmt.Sprintf("%d", merged.Counters["sim.reservations_honoured"]),
+		)
+	}
+	res.Merged = telemetry.Merge(all...)
+	res.Table = table
+	return res, nil
+}

@@ -1,0 +1,56 @@
+package experiments
+
+import "testing"
+
+// TestTelemetryProbe checks that the per-run telemetry report aggregates
+// real data: every variant solved once per request, the solver-latency
+// histogram is populated, and prediction variants planned reservations.
+func TestTelemetryProbe(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Traces = 3
+	cfg.TraceLen = 40
+	r, err := TelemetryProbe(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Table.Rows) != 4 {
+		t.Fatalf("rows: got %d, want 4", len(r.Table.Rows))
+	}
+	wantRequests := int64(cfg.Traces * cfg.TraceLen)
+	for name, snap := range r.PerVariant {
+		if got := snap.Counters["sim.requests"]; got != wantRequests {
+			t.Errorf("%s: sim.requests = %d, want %d", name, got, wantRequests)
+		}
+		lat := snap.Histograms["sim.solver_seconds"]
+		if lat.Count != wantRequests {
+			t.Errorf("%s: solver latency observations = %d, want %d", name, lat.Count, wantRequests)
+		}
+		if lat.Count > 0 && lat.Sum <= 0 {
+			t.Errorf("%s: solver latency sum not positive", name)
+		}
+		acc := snap.Counters["sim.accepted"]
+		rej := snap.Counters["sim.rejected"]
+		if acc+rej != wantRequests {
+			t.Errorf("%s: accepted %d + rejected %d != %d", name, acc, rej, wantRequests)
+		}
+	}
+	for _, name := range []string{"heuristic+pred", "MILP+pred"} {
+		if r.PerVariant[name].Counters["sim.reservations_planned"] == 0 {
+			t.Errorf("%s: no reservations planned under perfect prediction", name)
+		}
+		if r.PerVariant[name].Counters["sim.predictions"] == 0 {
+			t.Errorf("%s: no predictions recorded", name)
+		}
+	}
+	// The heuristic solver registered its own instruments through the
+	// Instrumentable attachment in sim.Run.
+	if r.PerVariant["heuristic"].Counters["core.solves"] == 0 {
+		t.Error("core.solves not recorded")
+	}
+	if r.PerVariant["MILP"].Counters["exact.solves"] == 0 {
+		t.Error("exact.solves not recorded")
+	}
+	if r.Merged.Counters["sim.requests"] != 4*wantRequests {
+		t.Errorf("merged requests: got %d, want %d", r.Merged.Counters["sim.requests"], 4*wantRequests)
+	}
+}

@@ -7,6 +7,8 @@ import (
 	"errors"
 	"math"
 	"sort"
+
+	"predrm/internal/telemetry"
 )
 
 // Sample summarises a set of observations.
@@ -17,7 +19,18 @@ type Sample struct {
 	Min, Max float64
 }
 
-// Summarise computes a Sample over xs. Empty input yields a zero Sample.
+// IsZero reports whether the sample holds no observations (N == 0) — the
+// value Summarise returns for empty input. It distinguishes "no data" from
+// a genuine sample whose observations are all zero (N > 0, zero stats).
+func (s Sample) IsZero() bool { return s.N == 0 }
+
+// Summarise computes a Sample over xs.
+//
+// Contract on empty input: Summarise returns the zero Sample rather than
+// an error — use Sample.IsZero to detect it. This deliberately differs
+// from Percentile, which must error on empty input because no percentile
+// value exists, whereas a zero Sample is a safe additive identity for
+// aggregation.
 func Summarise(xs []float64) Sample {
 	s := Sample{N: len(xs)}
 	if s.N == 0 {
@@ -56,7 +69,13 @@ func (s Sample) CI95() float64 {
 }
 
 // Percentile returns the p-th percentile (0..100) of xs using linear
-// interpolation. It errors on empty input or p outside [0,100].
+// interpolation.
+//
+// Contract on empty input: unlike Summarise — which returns a zero Sample
+// detectable via Sample.IsZero — Percentile errors, because there is no
+// meaningful percentile of nothing and a silent 0 would be
+// indistinguishable from a real observation. It also errors on p outside
+// [0,100].
 func Percentile(xs []float64, p float64) (float64, error) {
 	if len(xs) == 0 {
 		return 0, errors.New("metrics: empty sample")
@@ -111,6 +130,25 @@ func Paired(a, b []float64) (Sample, error) {
 		d[i] = a[i] - b[i]
 	}
 	return Summarise(d), nil
+}
+
+// FromHistogram converts a telemetry histogram snapshot into a Sample:
+// count, mean, standard deviation (reconstructed from the tracked
+// moments), and the exact observed min/max. An empty histogram yields the
+// zero Sample (see Sample.IsZero). Unlike Summarise the input observations
+// are not retained individually, so quantiles must come from
+// telemetry.HistogramSnapshot.Quantile instead.
+func FromHistogram(h telemetry.HistogramSnapshot) Sample {
+	if h.Count == 0 {
+		return Sample{}
+	}
+	return Sample{
+		N:    int(h.Count),
+		Mean: h.Mean(),
+		Std:  h.Std(),
+		Min:  h.Min,
+		Max:  h.Max,
+	}
 }
 
 // NormalizeBy divides each value by the maximum over xs, yielding values in

@@ -4,6 +4,8 @@ import (
 	"math"
 	"testing"
 	"testing/quick"
+
+	"predrm/internal/telemetry"
 )
 
 func TestSummarise(t *testing.T) {
@@ -149,5 +151,34 @@ func TestSummariseMatchesNaiveProperty(t *testing.T) {
 	}
 	if err := quick.Check(f, nil); err != nil {
 		t.Error(err)
+	}
+}
+
+func TestSampleIsZero(t *testing.T) {
+	if !Summarise(nil).IsZero() {
+		t.Fatal("empty input must yield a zero Sample")
+	}
+	if Summarise([]float64{0, 0, 0}).IsZero() {
+		t.Fatal("an all-zeros sample is data, not a zero Sample")
+	}
+}
+
+func TestFromHistogram(t *testing.T) {
+	if !FromHistogram(telemetry.HistogramSnapshot{}).IsZero() {
+		t.Fatal("empty histogram must yield a zero Sample")
+	}
+	reg := telemetry.NewRegistry()
+	h := reg.Histogram("x", []float64{1, 10})
+	obs := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	for _, v := range obs {
+		h.Observe(v)
+	}
+	got := FromHistogram(reg.Snapshot().Histograms["x"])
+	want := Summarise(obs)
+	if got.N != want.N || got.Min != want.Min || got.Max != want.Max {
+		t.Fatalf("got %+v, want %+v", got, want)
+	}
+	if math.Abs(got.Mean-want.Mean) > 1e-9 || math.Abs(got.Std-want.Std) > 1e-9 {
+		t.Fatalf("moments: got %+v, want %+v", got, want)
 	}
 }

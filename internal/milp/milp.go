@@ -10,6 +10,7 @@ import (
 	"math"
 
 	"predrm/internal/lp"
+	"predrm/internal/telemetry"
 )
 
 // Problem is a MILP: an LP plus integrality marks.
@@ -42,6 +43,10 @@ type Options struct {
 	MaxNodes int
 	// IntTol is the integrality tolerance (0 = default 1e-6).
 	IntTol float64
+	// Metrics, when non-nil, records per-solve instruments: counters
+	// milp.solves, milp.nodes (cumulative branch-and-bound nodes), and
+	// milp.truncated.
+	Metrics *telemetry.Registry
 }
 
 // DefaultMaxNodes bounds the search tree; the paper-formulation instances
@@ -99,6 +104,18 @@ type bound struct {
 // Solve minimizes the MILP by depth-first branch and bound, branching on
 // the most fractional integer variable.
 func Solve(p *Problem, opts Options) (Solution, error) {
+	sol, err := solve(p, opts)
+	if opts.Metrics != nil && err == nil {
+		opts.Metrics.Counter("milp.solves").Inc()
+		opts.Metrics.Counter("milp.nodes").Add(int64(sol.Nodes))
+		if sol.Status == Truncated {
+			opts.Metrics.Counter("milp.truncated").Inc()
+		}
+	}
+	return sol, err
+}
+
+func solve(p *Problem, opts Options) (Solution, error) {
 	if err := p.Validate(); err != nil {
 		return Solution{}, err
 	}

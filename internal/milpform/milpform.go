@@ -44,6 +44,7 @@ import (
 	"predrm/internal/milp"
 	"predrm/internal/sched"
 	"predrm/internal/task"
+	"predrm/internal/telemetry"
 )
 
 // bigMFor returns a problem-scaled big-M: the total possible demand plus
@@ -75,9 +76,27 @@ type Solver struct {
 	MaxNodes int
 	// LastStatus reports the most recent MILP outcome.
 	LastStatus milp.Status
+
+	// Telemetry (nil-safe no-ops until AttachMetrics). The registry is
+	// also handed to the underlying branch and bound via milp.Options.
+	metrics              *telemetry.Registry
+	mSolves, mInfeasible *telemetry.Counter
+	mVars                *telemetry.Histogram
 }
 
 var _ core.Solver = (*Solver)(nil)
+var _ telemetry.Instrumentable = (*Solver)(nil)
+
+// AttachMetrics registers the solver's instruments on reg: counters
+// milpform.solves and milpform.infeasible, histogram milpform.vars (MILP
+// columns per activation), plus the underlying milp.solves/milp.nodes/
+// milp.truncated counters recorded by internal/milp.
+func (s *Solver) AttachMetrics(reg *telemetry.Registry) {
+	s.metrics = reg
+	s.mSolves = reg.Counter("milpform.solves")
+	s.mInfeasible = reg.Counter("milpform.infeasible")
+	s.mVars = reg.Histogram("milpform.vars", telemetry.NodeBuckets)
+}
 
 // model is the variable bookkeeping for one activation.
 type model struct {
@@ -115,7 +134,9 @@ func (m *model) addConstraint(coeffs map[int]float64, sense lp.Sense, rhs float6
 
 // Solve maps all jobs of the problem by solving the Sec 4.2 MILP.
 func (s *Solver) Solve(p *sched.Problem) core.Decision {
+	s.mSolves.Inc()
 	infeasible := func() core.Decision {
+		s.mInfeasible.Inc()
 		mapping := make([]int, len(p.Jobs))
 		for i := range mapping {
 			mapping[i] = sched.Unmapped
@@ -307,7 +328,8 @@ func (s *Solver) Solve(p *sched.Problem) core.Decision {
 		m.addConstraint(coeffs, lp.LE, h.Energy+1e-7)
 	}
 
-	sol, err := milp.Solve(&m.prob, milp.Options{MaxNodes: s.MaxNodes})
+	s.mVars.Observe(float64(m.prob.NumVars))
+	sol, err := milp.Solve(&m.prob, milp.Options{MaxNodes: s.MaxNodes, Metrics: s.metrics})
 	if err != nil {
 		s.LastStatus = milp.Infeasible
 		return infeasible()

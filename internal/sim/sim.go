@@ -25,6 +25,7 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"time"
 
 	"predrm/internal/core"
 	"predrm/internal/critical"
@@ -32,6 +33,7 @@ import (
 	"predrm/internal/predict"
 	"predrm/internal/sched"
 	"predrm/internal/task"
+	"predrm/internal/telemetry"
 	"predrm/internal/trace"
 )
 
@@ -74,6 +76,14 @@ type Config struct {
 	// RecordExecution captures the executed schedule as Result.Execution
 	// (per-resource segments), for Gantt rendering and post-hoc analysis.
 	RecordExecution bool
+	// Tracer receives structured simulation events (arrivals, predictions,
+	// solver latencies, admissions, migrations, reservations); nil disables
+	// tracing at near-zero cost.
+	Tracer *telemetry.Tracer
+	// Metrics, when non-nil, collects counters and latency histograms for
+	// the run; the snapshot is surfaced as Result.Telemetry. Solvers
+	// implementing telemetry.Instrumentable are attached automatically.
+	Metrics *telemetry.Registry
 }
 
 // ExecSegment is one contiguous piece of executed schedule: job JobID ran
@@ -152,6 +162,10 @@ type Result struct {
 	Execution []ExecSegment
 	// Jobs holds one record per request, in trace order.
 	Jobs []JobRecord
+	// Telemetry is the metrics snapshot of the run when Config.Metrics was
+	// set (solver-latency histogram, event counters, solver instruments);
+	// nil otherwise.
+	Telemetry *telemetry.Snapshot
 }
 
 // RejectionPct returns the rejected percentage of requests.
@@ -170,6 +184,39 @@ type planSeg struct {
 	start, end float64
 }
 
+// instruments bundles the simulator's registered metrics. All fields are
+// nil when the run has no registry, making every operation a no-op.
+type instruments struct {
+	requests, accepted, rejected     *telemetry.Counter
+	predictions, migrations          *telemetry.Counter
+	criticalReleases                 *telemetry.Counter
+	resvPlanned, resvHonoured        *telemetry.Counter
+	resvBackfilled                   *telemetry.Counter
+	solverSec, replanSec, advanceSec *telemetry.Histogram
+	activeJobs                       *telemetry.Histogram
+	activePeak                       *telemetry.Gauge
+}
+
+// newInstruments registers the simulator's instruments on reg (nil-safe).
+func newInstruments(reg *telemetry.Registry) instruments {
+	return instruments{
+		requests:         reg.Counter("sim.requests"),
+		accepted:         reg.Counter("sim.accepted"),
+		rejected:         reg.Counter("sim.rejected"),
+		predictions:      reg.Counter("sim.predictions"),
+		migrations:       reg.Counter("sim.migrations"),
+		criticalReleases: reg.Counter("sim.critical_releases"),
+		resvPlanned:      reg.Counter("sim.reservations_planned"),
+		resvHonoured:     reg.Counter("sim.reservations_honoured"),
+		resvBackfilled:   reg.Counter("sim.reservations_backfilled"),
+		solverSec:        reg.Histogram("sim.solver_seconds", telemetry.LatencyBuckets),
+		replanSec:        reg.Histogram("sim.replan_seconds", telemetry.LatencyBuckets),
+		advanceSec:       reg.Histogram("sim.advance_seconds", telemetry.LatencyBuckets),
+		activeJobs:       reg.Histogram("sim.active_jobs", telemetry.CountBuckets),
+		activePeak:       reg.Gauge("sim.active_jobs_peak"),
+	}
+}
+
 // runner is the mutable simulation state.
 type runner struct {
 	cfg    Config
@@ -183,6 +230,29 @@ type runner struct {
 	exec [][]ExecSegment
 	// criticalNext tracks the next release index per critical task.
 	criticalNext []int
+	// trc and ins are the run's telemetry handles (nil-safe no-ops when
+	// telemetry is disabled).
+	trc *telemetry.Tracer
+	ins instruments
+	// pendingResv holds the reservations installed by the last replan, so
+	// the next activation can report whether they were held (plan mode).
+	pendingResv []ghostRef
+}
+
+// flushReservations reports the fate of the standing reservations once the
+// next activation replaces them: a reservation whose window had begun was
+// held idle by the planned schedule (honoured).
+func (r *runner) flushReservations() {
+	for _, g := range r.pendingResv {
+		if r.now+sched.Eps >= g.job.Arrival {
+			r.ins.resvHonoured.Inc()
+			e := telemetry.NewEvent(r.now, telemetry.EvReservationHonoured)
+			e.Res = g.res
+			e.Value = g.job.Arrival
+			r.trc.Emit(e)
+		}
+	}
+	r.pendingResv = nil
 }
 
 // advanceTo advances execution to target, materialising critical releases
@@ -246,8 +316,17 @@ func (r *runner) materializeCritical(rel float64) {
 			continue
 		}
 		r.criticalNext[tid] = k + 1
-		r.active = append(r.active, r.cfg.Critical.Release(r.cfg.Platform, tid, k))
+		j := r.cfg.Critical.Release(r.cfg.Platform, tid, k)
+		r.active = append(r.active, j)
 		r.res.CriticalJobs++
+		r.ins.criticalReleases.Inc()
+		if r.trc != nil {
+			e := telemetry.NewEvent(rel, telemetry.EvCriticalRelease)
+			e.Task = tid
+			e.Res = j.Resource
+			e.Value = float64(k)
+			r.trc.Emit(e)
+		}
 	}
 }
 
@@ -282,6 +361,13 @@ func Run(cfg Config, tr *trace.Trace) (*Result, error) {
 		cfg: cfg,
 		res: &Result{Requests: tr.Len()},
 		rec: make([]JobRecord, tr.Len()),
+		trc: cfg.Tracer,
+		ins: newInstruments(cfg.Metrics),
+	}
+	if cfg.Metrics != nil {
+		if inst, ok := cfg.Solver.(telemetry.Instrumentable); ok {
+			inst.AttachMetrics(cfg.Metrics)
+		}
 	}
 	if cfg.Critical != nil {
 		if err := cfg.Critical.Validate(cfg.Platform); err != nil {
@@ -295,6 +381,14 @@ func Run(cfg Config, tr *trace.Trace) (*Result, error) {
 			Type:        req.Type,
 			Arrival:     req.Arrival,
 			AbsDeadline: req.Arrival + req.Deadline,
+		}
+		r.ins.requests.Inc()
+		if r.trc != nil {
+			e := telemetry.NewEvent(req.Arrival, telemetry.EvArrival)
+			e.Req = idx
+			e.Task = req.Type
+			e.Value = req.Arrival + req.Deadline
+			r.trc.Emit(e)
 		}
 		if err := r.advanceTo(req.Arrival); err != nil {
 			return nil, err
@@ -318,9 +412,11 @@ func Run(cfg Config, tr *trace.Trace) (*Result, error) {
 		newJob := sched.NewJob(idx, cfg.TaskSet.Type(req.Type), req.Arrival, req.Deadline)
 		jobs := make([]*sched.Job, 0, len(r.active)+2)
 		jobs = append(jobs, r.active...)
+		newIdx := len(jobs)
 		jobs = append(jobs, newJob)
 		jobs = append(jobs, r.upcomingCritical(jobs)...)
 
+		predicting := false
 		if cfg.Predictor != nil {
 			cfg.Predictor.Observe(idx, req)
 			var preds []predict.Prediction
@@ -334,6 +430,15 @@ func Run(cfg Config, tr *trace.Trace) (*Result, error) {
 					pj := sched.NewJob(-1-step, cfg.TaskSet.Type(pred.Type), pred.Arrival, pred.Deadline)
 					pj.Predicted = true
 					jobs = append(jobs, pj)
+					predicting = true
+					r.ins.predictions.Inc()
+					if r.trc != nil {
+						e := telemetry.NewEvent(r.now, telemetry.EvPrediction)
+						e.Req = idx
+						e.Task = pred.Type
+						e.Value = pred.Arrival
+						r.trc.Emit(e)
+					}
 				}
 			}
 		}
@@ -344,9 +449,46 @@ func Run(cfg Config, tr *trace.Trace) (*Result, error) {
 			Jobs:     jobs,
 			Policy:   cfg.Policy,
 		}
+		if r.trc != nil {
+			e := telemetry.NewEvent(r.now, telemetry.EvSolverInvoked)
+			e.Req = idx
+			e.Task = req.Type
+			e.Value = float64(len(jobs))
+			r.trc.Emit(e)
+		}
+		measuring := r.trc != nil || r.ins.solverSec != nil
+		var solveStart time.Time
+		if measuring {
+			solveStart = time.Now()
+		}
 		decision, admitted := core.Admit(cfg.Solver, problem)
+		var wall time.Duration
+		if measuring {
+			wall = time.Since(solveStart)
+			r.ins.solverSec.Observe(wall.Seconds())
+		}
+		if r.trc != nil {
+			e := telemetry.NewEvent(r.now, telemetry.EvSolverReturned)
+			e.Req = idx
+			e.WallNs = wall.Nanoseconds()
+			if admitted {
+				e.Reason = "feasible"
+				e.Value = decision.Energy
+			} else {
+				e.Reason = "infeasible"
+			}
+			r.trc.Emit(e)
+		}
 		if !admitted {
 			r.res.Rejected++
+			r.ins.rejected.Inc()
+			if r.trc != nil {
+				e := telemetry.NewEvent(r.now, telemetry.EvReject)
+				e.Req = idx
+				e.Task = req.Type
+				e.Reason = "no_feasible_mapping"
+				r.trc.Emit(e)
+			}
 			// Drop any stale reservation (its request has now arrived) but
 			// keep the standing mappings.
 			if err := r.replan(nil); err != nil {
@@ -355,6 +497,7 @@ func Run(cfg Config, tr *trace.Trace) (*Result, error) {
 			continue
 		}
 		r.res.Accepted++
+		r.ins.accepted.Inc()
 		r.rec[idx].Accepted = true
 		r.apply(problem, decision, newJob)
 		var ghosts []ghostRef
@@ -363,6 +506,40 @@ func Run(cfg Config, tr *trace.Trace) (*Result, error) {
 				ghosts = append(ghosts, ghostRef{job: j, res: decision.Mapping[i]})
 			}
 		}
+		if r.trc != nil {
+			e := telemetry.NewEvent(r.now, telemetry.EvAdmit)
+			e.Req = idx
+			e.Task = req.Type
+			e.Res = decision.Mapping[newIdx]
+			switch {
+			case len(ghosts) > 0:
+				e.Reason = "with_reservation"
+			case predicting:
+				e.Reason = "prediction_dropped"
+			default:
+				e.Reason = "plain"
+			}
+			r.trc.Emit(e)
+		}
+		for _, g := range ghosts {
+			r.ins.resvPlanned.Inc()
+			if cfg.WorkConserving {
+				r.ins.resvBackfilled.Inc()
+			}
+			if r.trc != nil {
+				e := telemetry.NewEvent(r.now, telemetry.EvReservationPlanned)
+				e.Req = idx
+				e.Res = g.res
+				e.Value = g.job.Arrival
+				r.trc.Emit(e)
+				if cfg.WorkConserving {
+					e.Type = telemetry.EvReservationBackfilled
+					r.trc.Emit(e)
+				}
+			}
+		}
+		r.ins.activeJobs.Observe(float64(len(r.active)))
+		r.ins.activePeak.Set(float64(len(r.active)))
 		if err := r.replan(ghosts); err != nil {
 			return nil, err
 		}
@@ -384,9 +561,13 @@ func Run(cfg Config, tr *trace.Trace) (*Result, error) {
 		}
 	}
 	r.advance(math.Inf(1))
+	r.flushReservations()
 	r.res.Jobs = r.rec
 	for _, segs := range r.exec {
 		r.res.Execution = append(r.res.Execution, segs...)
+	}
+	if cfg.Metrics != nil {
+		r.res.Telemetry = cfg.Metrics.Snapshot()
 	}
 	return r.res, nil
 }
@@ -430,6 +611,14 @@ func (r *runner) apply(p *sched.Problem, d core.Decision, newJob *sched.Job) {
 				r.res.Migrations++
 				r.res.MigrationEnergy += j.Type.MigEnergy
 				r.res.TotalEnergy += j.Type.MigEnergy
+				r.ins.migrations.Inc()
+				if r.trc != nil {
+					e := telemetry.NewEvent(r.now, telemetry.EvMigration)
+					e.Req = j.ID
+					e.Res = target
+					e.Value = j.Type.MigEnergy
+					r.trc.Emit(e)
+				}
 			}
 		}
 		j.Resource = target
@@ -451,6 +640,10 @@ func (r *runner) replan(ghosts []ghostRef) error {
 	if r.cfg.WorkConserving {
 		return nil // greedy dispatch reads job state directly
 	}
+	defer telemetry.StartTimer(r.ins.replanSec).Stop()
+	// The previous activation's reservations end here; report their fate.
+	r.flushReservations()
+	r.pendingResv = ghosts
 	jobs := make([]*sched.Job, 0, len(r.active)+len(ghosts))
 	jobs = append(jobs, r.active...)
 	mapping := make([]int, 0, cap(jobs))
@@ -487,6 +680,7 @@ func (r *runner) replan(ghosts []ghostRef) error {
 
 // advance executes the standing schedule up to time target.
 func (r *runner) advance(target float64) {
+	defer telemetry.StartTimer(r.ins.advanceSec).Stop()
 	if r.cfg.WorkConserving {
 		r.advanceGreedy(target)
 		return

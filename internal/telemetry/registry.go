@@ -1,0 +1,243 @@
+package telemetry
+
+import (
+	"math"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// Registry is a get-or-create store of named instruments. A nil *Registry
+// hands out nil instruments, so a disabled telemetry path costs one nil
+// check per operation. A non-nil Registry and all its instruments are safe
+// for concurrent use.
+type Registry struct {
+	mu       sync.Mutex
+	counters map[string]*Counter
+	gauges   map[string]*Gauge
+	hists    map[string]*Histogram
+}
+
+// NewRegistry builds an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters: make(map[string]*Counter),
+		gauges:   make(map[string]*Gauge),
+		hists:    make(map[string]*Histogram),
+	}
+}
+
+// Counter returns the named counter, creating it on first use. Nil-safe:
+// a nil registry returns a nil (no-op) counter.
+func (r *Registry) Counter(name string) *Counter {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c, ok := r.counters[name]
+	if !ok {
+		c = &Counter{}
+		r.counters[name] = c
+	}
+	return c
+}
+
+// Gauge returns the named gauge, creating it on first use. Nil-safe.
+func (r *Registry) Gauge(name string) *Gauge {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	g, ok := r.gauges[name]
+	if !ok {
+		g = newGauge()
+		r.gauges[name] = g
+	}
+	return g
+}
+
+// Histogram returns the named histogram, creating it with the given bucket
+// upper bounds on first use (bounds must be sorted ascending; an implicit
+// +Inf overflow bucket is added). If the histogram already exists the
+// bounds argument is ignored. Nil-safe.
+func (r *Registry) Histogram(name string, bounds []float64) *Histogram {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	h, ok := r.hists[name]
+	if !ok {
+		h = newHistogram(bounds)
+		r.hists[name] = h
+	}
+	return h
+}
+
+// Counter is a monotonically increasing count.
+type Counter struct {
+	v atomic.Int64
+}
+
+// Add increments the counter by d. Nil-safe.
+func (c *Counter) Add(d int64) {
+	if c == nil {
+		return
+	}
+	c.v.Add(d)
+}
+
+// Inc increments the counter by one. Nil-safe.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Value returns the current count. Nil-safe.
+func (c *Counter) Value() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Gauge is a last-written float value with a tracked maximum.
+type Gauge struct {
+	bits atomic.Uint64 // current value
+	max  atomic.Uint64 // high-water mark
+}
+
+func newGauge() *Gauge {
+	g := &Gauge{}
+	g.max.Store(math.Float64bits(math.Inf(-1)))
+	return g
+}
+
+// Set stores v and raises the high-water mark. Nil-safe.
+func (g *Gauge) Set(v float64) {
+	if g == nil {
+		return
+	}
+	g.bits.Store(math.Float64bits(v))
+	casMax(&g.max, v)
+}
+
+// Value returns the last Set value. Nil-safe.
+func (g *Gauge) Value() float64 {
+	if g == nil {
+		return 0
+	}
+	return math.Float64frombits(g.bits.Load())
+}
+
+// Max returns the high-water mark (0 before the first Set). Nil-safe.
+func (g *Gauge) Max() float64 {
+	if g == nil {
+		return 0
+	}
+	m := math.Float64frombits(g.max.Load())
+	if math.IsInf(m, -1) {
+		return 0
+	}
+	return m
+}
+
+// Histogram counts observations into fixed buckets and tracks count, sum,
+// sum of squares, min, and max, enabling mean/std/quantile estimates
+// without storing observations.
+type Histogram struct {
+	bounds []float64      // ascending upper bounds; implicit +Inf last
+	counts []atomic.Int64 // len(bounds)+1
+	count  atomic.Int64
+	sum    atomic.Uint64 // float64 bits
+	sumSq  atomic.Uint64 // float64 bits
+	min    atomic.Uint64 // float64 bits, +Inf initially
+	max    atomic.Uint64 // float64 bits, -Inf initially
+}
+
+func newHistogram(bounds []float64) *Histogram {
+	b := append([]float64(nil), bounds...)
+	sort.Float64s(b)
+	h := &Histogram{bounds: b, counts: make([]atomic.Int64, len(b)+1)}
+	h.min.Store(math.Float64bits(math.Inf(1)))
+	h.max.Store(math.Float64bits(math.Inf(-1)))
+	return h
+}
+
+// Observe records v. Nil-safe.
+func (h *Histogram) Observe(v float64) {
+	if h == nil {
+		return
+	}
+	// First bucket whose upper bound is >= v; len(bounds) = overflow.
+	i := sort.SearchFloat64s(h.bounds, v)
+	h.counts[i].Add(1)
+	h.count.Add(1)
+	casAdd(&h.sum, v)
+	casAdd(&h.sumSq, v*v)
+	casMin(&h.min, v)
+	casMax(&h.max, v)
+}
+
+// Count returns the number of observations. Nil-safe.
+func (h *Histogram) Count() int64 {
+	if h == nil {
+		return 0
+	}
+	return h.count.Load()
+}
+
+// casAdd atomically adds v to the float64 stored in bits.
+func casAdd(bits *atomic.Uint64, v float64) {
+	for {
+		old := bits.Load()
+		if bits.CompareAndSwap(old, math.Float64bits(math.Float64frombits(old)+v)) {
+			return
+		}
+	}
+}
+
+// casMin atomically lowers the float64 stored in bits to v if smaller.
+func casMin(bits *atomic.Uint64, v float64) {
+	for {
+		old := bits.Load()
+		if v >= math.Float64frombits(old) {
+			return
+		}
+		if bits.CompareAndSwap(old, math.Float64bits(v)) {
+			return
+		}
+	}
+}
+
+// casMax atomically raises the float64 stored in bits to v if larger.
+func casMax(bits *atomic.Uint64, v float64) {
+	for {
+		old := bits.Load()
+		if v <= math.Float64frombits(old) {
+			return
+		}
+		if bits.CompareAndSwap(old, math.Float64bits(v)) {
+			return
+		}
+	}
+}
+
+// LatencyBuckets are the default wall-clock histogram bounds, in seconds:
+// a 1-2.5-5 ladder from 1µs to 10s.
+var LatencyBuckets = []float64{
+	1e-6, 2.5e-6, 5e-6,
+	1e-5, 2.5e-5, 5e-5,
+	1e-4, 2.5e-4, 5e-4,
+	1e-3, 2.5e-3, 5e-3,
+	1e-2, 2.5e-2, 5e-2,
+	1e-1, 2.5e-1, 5e-1,
+	1, 2.5, 5, 10,
+}
+
+// CountBuckets are default bounds for small cardinalities (jobs per
+// problem, active jobs, …).
+var CountBuckets = []float64{0, 1, 2, 3, 5, 8, 13, 21, 34, 55, 89, 144, 233}
+
+// NodeBuckets are default bounds for search-tree sizes (branch-and-bound
+// nodes per solve).
+var NodeBuckets = []float64{1, 2, 5, 10, 25, 50, 100, 250, 500, 1e3, 2.5e3, 5e3, 1e4, 2.5e4, 5e4, 1e5, 2.5e5, 5e5, 1e6}

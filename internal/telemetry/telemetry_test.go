@@ -1,0 +1,212 @@
+package telemetry
+
+import (
+	"bytes"
+	"encoding/json"
+	"math"
+	"sync"
+	"testing"
+)
+
+func TestNilSafety(t *testing.T) {
+	var tr *Tracer
+	tr.Emit(NewEvent(1, EvArrival))
+	if tr.Events() != nil || tr.Len() != 0 || tr.Dropped() != 0 || tr.Flush() != nil {
+		t.Fatal("nil tracer must be inert")
+	}
+	var reg *Registry
+	if reg.Counter("x") != nil || reg.Gauge("x") != nil || reg.Histogram("x", nil) != nil {
+		t.Fatal("nil registry must hand out nil instruments")
+	}
+	if reg.Snapshot() != nil {
+		t.Fatal("nil registry snapshot must be nil")
+	}
+	var c *Counter
+	c.Inc()
+	c.Add(5)
+	if c.Value() != 0 {
+		t.Fatal("nil counter must be inert")
+	}
+	var g *Gauge
+	g.Set(3)
+	if g.Value() != 0 || g.Max() != 0 {
+		t.Fatal("nil gauge must be inert")
+	}
+	var h *Histogram
+	h.Observe(1)
+	if h.Count() != 0 {
+		t.Fatal("nil histogram must be inert")
+	}
+	StartTimer(nil).Stop() // must not panic or read the clock's result
+}
+
+func TestHistogramBucketing(t *testing.T) {
+	h := newHistogram([]float64{1, 2, 5})
+	for _, v := range []float64{0.5, 1, 1.5, 2, 3, 5, 7, 100} {
+		h.Observe(v)
+	}
+	// Buckets: (-inf,1] (-1,2] (2,5] (5,+inf) with le semantics:
+	// 0.5,1 -> b0; 1.5,2 -> b1; 3,5 -> b2; 7,100 -> overflow.
+	want := []int64{2, 2, 2, 2}
+	for i, w := range want {
+		if got := h.counts[i].Load(); got != w {
+			t.Errorf("bucket %d: got %d, want %d", i, got, w)
+		}
+	}
+	if h.Count() != 8 {
+		t.Errorf("count: got %d, want 8", h.Count())
+	}
+	hs := NewRegistry().Histogram("h", []float64{1, 2, 5})
+	_ = hs // creation path covered; detailed assertions below via snapshot
+
+	reg := NewRegistry()
+	rh := reg.Histogram("lat", []float64{1, 2, 5})
+	for _, v := range []float64{0.5, 1.5, 3, 7} {
+		rh.Observe(v)
+	}
+	snap := reg.Snapshot()
+	got := snap.Histograms["lat"]
+	if got.Count != 4 || got.Min != 0.5 || got.Max != 7 {
+		t.Fatalf("snapshot stats: %+v", got)
+	}
+	if m := got.Mean(); math.Abs(m-3) > 1e-12 {
+		t.Errorf("mean: got %v, want 3", m)
+	}
+	if s := got.Std(); math.Abs(s-2.85774) > 1e-4 {
+		t.Errorf("std: got %v", s)
+	}
+	if q := got.Quantile(0); q != 0.5 {
+		t.Errorf("q0: got %v", q)
+	}
+	if q := got.Quantile(1); q != 7 {
+		t.Errorf("q1: got %v", q)
+	}
+	if q := got.Quantile(0.5); q < 0.5 || q > 3 {
+		t.Errorf("median out of range: %v", q)
+	}
+}
+
+func TestHistogramUnsortedBoundsAreSorted(t *testing.T) {
+	h := newHistogram([]float64{5, 1, 2})
+	h.Observe(1.5)
+	if h.counts[1].Load() != 1 {
+		t.Fatal("bounds must be sorted at construction")
+	}
+}
+
+func TestConcurrentCounters(t *testing.T) {
+	reg := NewRegistry()
+	const workers, per = 8, 1000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			c := reg.Counter("shared")
+			h := reg.Histogram("hist", CountBuckets)
+			g := reg.Gauge("gauge")
+			for i := 0; i < per; i++ {
+				c.Inc()
+				h.Observe(float64(i % 10))
+				g.Set(float64(i))
+			}
+		}()
+	}
+	wg.Wait()
+	if got := reg.Counter("shared").Value(); got != workers*per {
+		t.Fatalf("counter: got %d, want %d", got, workers*per)
+	}
+	snap := reg.Snapshot()
+	if snap.Histograms["hist"].Count != workers*per {
+		t.Fatalf("histogram count: %+v", snap.Histograms["hist"])
+	}
+	if snap.Gauges["gauge"].Max != per-1 {
+		t.Fatalf("gauge max: %+v", snap.Gauges["gauge"])
+	}
+}
+
+func TestTracerRingAndSink(t *testing.T) {
+	var buf bytes.Buffer
+	tr := NewTracer(TracerOptions{RingSize: 4, Sink: &buf})
+	for i := 0; i < 6; i++ {
+		e := NewEvent(float64(i), EvArrival)
+		e.Req = i
+		tr.Emit(e)
+	}
+	if err := tr.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	events := tr.Events()
+	if len(events) != 4 {
+		t.Fatalf("ring length: got %d, want 4", len(events))
+	}
+	// Oldest two overwritten; survivors are 2..5 in order with seq intact.
+	for i, e := range events {
+		if e.Req != i+2 || e.Seq != int64(i+2) {
+			t.Fatalf("event %d: %+v", i, e)
+		}
+	}
+	if tr.Dropped() != 2 {
+		t.Fatalf("dropped: got %d, want 2", tr.Dropped())
+	}
+	// The sink saw all six lines, each valid JSON.
+	lines := bytes.Split(bytes.TrimSpace(buf.Bytes()), []byte("\n"))
+	if len(lines) != 6 {
+		t.Fatalf("sink lines: got %d, want 6", len(lines))
+	}
+	for _, line := range lines {
+		var e Event
+		if err := json.Unmarshal(line, &e); err != nil {
+			t.Fatalf("unmarshal %q: %v", line, err)
+		}
+		if e.Type != EvArrival || e.Task != -1 || e.Res != -1 {
+			t.Fatalf("decoded event: %+v", e)
+		}
+	}
+}
+
+func TestMerge(t *testing.T) {
+	mk := func(n int64, obs ...float64) *Snapshot {
+		reg := NewRegistry()
+		reg.Counter("c").Add(n)
+		h := reg.Histogram("h", []float64{1, 10})
+		for _, v := range obs {
+			h.Observe(v)
+		}
+		reg.Gauge("g").Set(float64(n))
+		return reg.Snapshot()
+	}
+	m := Merge(mk(2, 0.5, 5), nil, mk(3, 20))
+	if m.Counters["c"] != 5 {
+		t.Fatalf("counters: %+v", m.Counters)
+	}
+	h := m.Histograms["h"]
+	if h.Count != 3 || h.Min != 0.5 || h.Max != 20 {
+		t.Fatalf("merged histogram: %+v", h)
+	}
+	if h.Counts[0] != 1 || h.Counts[1] != 1 || h.Counts[2] != 1 {
+		t.Fatalf("merged buckets: %+v", h.Counts)
+	}
+	if m.Gauges["g"].Value != 3 || m.Gauges["g"].Max != 3 {
+		t.Fatalf("merged gauge: %+v", m.Gauges["g"])
+	}
+	// Merging must not alias the inputs.
+	src := mk(1, 2)
+	out := Merge(src)
+	out.Histograms["h"].Counts[0] = 99
+	if src.Histograms["h"].Counts[0] == 99 {
+		t.Fatal("merge aliases input buckets")
+	}
+}
+
+func TestTimer(t *testing.T) {
+	reg := NewRegistry()
+	h := reg.Histogram("sec", LatencyBuckets)
+	tm := StartTimer(h)
+	if d := tm.Stop(); d <= 0 {
+		t.Fatal("timer must measure positive elapsed time")
+	}
+	if h.Count() != 1 {
+		t.Fatal("timer must observe into the histogram")
+	}
+}

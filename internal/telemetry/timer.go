@@ -1,0 +1,37 @@
+package telemetry
+
+import "time"
+
+// Timer attributes wall-clock time to a latency histogram. Obtain one with
+// StartTimer and call Stop when the measured section ends:
+//
+//	t := telemetry.StartTimer(hist)
+//	doWork()
+//	t.Stop()
+//
+// When the histogram is nil (telemetry disabled) StartTimer returns an
+// inert Timer without reading the clock, so the disabled path costs only
+// the nil check.
+type Timer struct {
+	h     *Histogram
+	start time.Time
+}
+
+// StartTimer starts timing into h. A nil h yields a no-op timer.
+func StartTimer(h *Histogram) Timer {
+	if h == nil {
+		return Timer{}
+	}
+	return Timer{h: h, start: time.Now()}
+}
+
+// Stop records the elapsed seconds into the histogram and returns the
+// elapsed duration (0 for a no-op timer).
+func (t Timer) Stop() time.Duration {
+	if t.h == nil {
+		return 0
+	}
+	d := time.Since(t.start)
+	t.h.Observe(d.Seconds())
+	return d
+}

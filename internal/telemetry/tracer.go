@@ -1,0 +1,131 @@
+package telemetry
+
+import (
+	"bufio"
+	"encoding/json"
+	"io"
+	"sync"
+)
+
+// DefaultRingSize bounds the in-memory event buffer when TracerOptions
+// leaves RingSize zero.
+const DefaultRingSize = 4096
+
+// TracerOptions configures NewTracer.
+type TracerOptions struct {
+	// RingSize caps the in-memory event buffer (0 = DefaultRingSize).
+	// When the ring is full the oldest events are overwritten; Dropped
+	// reports how many were lost.
+	RingSize int
+	// Sink, when non-nil, receives every event as one JSON object per line
+	// (JSONL), unaffected by ring overwrites. Writes are buffered; call
+	// Flush (or Close) to drain them.
+	Sink io.Writer
+}
+
+// Tracer records structured events into a bounded ring and, optionally,
+// streams them to a JSONL sink. A nil *Tracer is a valid no-op; a non-nil
+// Tracer is safe for concurrent use.
+type Tracer struct {
+	mu      sync.Mutex
+	seq     int64
+	ring    []Event
+	next    int // ring insertion index
+	full    bool
+	dropped int64
+	bw      *bufio.Writer
+	err     error
+}
+
+// NewTracer builds a tracer.
+func NewTracer(opts TracerOptions) *Tracer {
+	size := opts.RingSize
+	if size <= 0 {
+		size = DefaultRingSize
+	}
+	t := &Tracer{ring: make([]Event, 0, size)}
+	if opts.Sink != nil {
+		t.bw = bufio.NewWriter(opts.Sink)
+	}
+	return t
+}
+
+// Emit records e, assigning its sequence number. Nil-safe.
+func (t *Tracer) Emit(e Event) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	e.Seq = t.seq
+	t.seq++
+	if len(t.ring) < cap(t.ring) {
+		t.ring = append(t.ring, e)
+	} else {
+		t.ring[t.next] = e
+		t.next = (t.next + 1) % cap(t.ring)
+		t.full = true
+		t.dropped++
+	}
+	if t.bw != nil && t.err == nil {
+		line, err := json.Marshal(e)
+		if err == nil {
+			_, err = t.bw.Write(append(line, '\n'))
+		}
+		t.err = err
+	}
+}
+
+// Events returns the buffered events in emission order. Nil-safe.
+func (t *Tracer) Events() []Event {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]Event, 0, len(t.ring))
+	if t.full {
+		out = append(out, t.ring[t.next:]...)
+		out = append(out, t.ring[:t.next]...)
+	} else {
+		out = append(out, t.ring...)
+	}
+	return out
+}
+
+// Len returns the number of buffered events. Nil-safe.
+func (t *Tracer) Len() int {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.ring)
+}
+
+// Dropped returns how many events were overwritten in the ring (they were
+// still written to the sink, if any). Nil-safe.
+func (t *Tracer) Dropped() int64 {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.dropped
+}
+
+// Flush drains buffered sink writes and returns the first write error
+// encountered so far. Nil-safe.
+func (t *Tracer) Flush() error {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.bw != nil {
+		if err := t.bw.Flush(); err != nil && t.err == nil {
+			t.err = err
+		}
+	}
+	return t.err
+}

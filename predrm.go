@@ -14,6 +14,7 @@ import (
 	"predrm/internal/sim"
 	"predrm/internal/static"
 	"predrm/internal/task"
+	"predrm/internal/telemetry"
 	"predrm/internal/trace"
 )
 
@@ -169,6 +170,34 @@ type (
 
 // Simulate drives a trace through the platform and resource manager.
 func Simulate(cfg SimConfig, tr *Trace) (*SimResult, error) { return sim.Run(cfg, tr) }
+
+// Telemetry (see the README's Observability section). Attach a Tracer
+// and/or a Registry to SimConfig to record the structured event stream and
+// the decision metrics of a simulation; both are optional and cost nothing
+// when absent.
+type (
+	// Tracer records structured simulation events (SimConfig.Tracer).
+	Tracer = telemetry.Tracer
+	// TracerOptions parameterises NewTracer (ring size, JSONL sink).
+	TracerOptions = telemetry.TracerOptions
+	// TraceEvent is one structured simulation event.
+	TraceEvent = telemetry.Event
+	// MetricsRegistry collects counters, gauges, and latency histograms
+	// (SimConfig.Metrics).
+	MetricsRegistry = telemetry.Registry
+	// MetricsSnapshot is an immutable registry snapshot (SimResult.Telemetry).
+	MetricsSnapshot = telemetry.Snapshot
+)
+
+// NewTracer builds a structured event tracer.
+func NewTracer(opts TracerOptions) *Tracer { return telemetry.NewTracer(opts) }
+
+// NewMetricsRegistry builds an empty metrics registry.
+func NewMetricsRegistry() *MetricsRegistry { return telemetry.NewRegistry() }
+
+// MergeSnapshots combines metric snapshots across runs: counters and
+// histogram buckets sum, gauges keep the last value and the overall max.
+func MergeSnapshots(snaps ...*MetricsSnapshot) *MetricsSnapshot { return telemetry.Merge(snaps...) }
 
 // StaticTable is the quasi-static baseline's design-time artefact.
 type StaticTable = static.Table
