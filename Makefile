@@ -1,11 +1,11 @@
 GO ?= go
 
-.PHONY: check build test vet race bench
+.PHONY: check build test vet race bench tracecheck
 
-# check is the repo gate: vet, build everything, and run the full test
-# suite under the race detector (the telemetry layer is concurrency-safe
-# by contract).
-check: vet build race
+# check is the repo gate: vet, build everything, run the full test suite
+# under the race detector (the telemetry layer is concurrency-safe by
+# contract), and audit the golden trace with the replay checker.
+check: vet build race tracecheck
 
 build:
 	$(GO) build ./...
@@ -19,5 +19,12 @@ test:
 race:
 	$(GO) test -race ./...
 
+# bench runs every benchmark and also writes a machine-readable summary
+# (ns/op, B/op, allocs/op per benchmark) for regression tracking.
 bench:
-	$(GO) test -bench=. -benchmem ./...
+	$(GO) test -bench=. -benchmem ./... | $(GO) run ./cmd/benchjson -out BENCH.json
+
+# tracecheck replays the golden event trace through the auditor: the
+# recorded run must satisfy every resource-manager invariant.
+tracecheck:
+	$(GO) run ./cmd/tracetool check internal/sim/testdata/events.golden.jsonl

@@ -1,0 +1,122 @@
+// Command benchjson converts `go test -bench -benchmem` output into a
+// machine-readable JSON summary while passing the original text through,
+// so one run feeds both the terminal and tooling:
+//
+//	go test -bench=. -benchmem ./... | benchjson -out BENCH.json
+//
+// The JSON records, per benchmark: package, name (GOMAXPROCS suffix
+// stripped), iterations, ns/op, and — when -benchmem was given — B/op and
+// allocs/op. Lines that are not benchmark results (goos/pkg headers, PASS,
+// ok) are echoed but otherwise ignored.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// Benchmark is one parsed result line.
+type Benchmark struct {
+	// Pkg is the import path from the preceding "pkg:" header.
+	Pkg string `json:"pkg"`
+	// Name is the benchmark name without the Benchmark prefix and the
+	// -GOMAXPROCS suffix.
+	Name string `json:"name"`
+	// Iterations is b.N for the reported run.
+	Iterations int64 `json:"iterations"`
+	// NsPerOp is the reported ns/op (fractional for sub-ns operations).
+	NsPerOp float64 `json:"ns_per_op"`
+	// BytesPerOp and AllocsPerOp come from -benchmem; nil when absent.
+	BytesPerOp  *int64 `json:"bytes_per_op,omitempty"`
+	AllocsPerOp *int64 `json:"allocs_per_op,omitempty"`
+}
+
+func main() {
+	out := flag.String("out", "BENCH.json", "write the JSON summary to this file")
+	flag.Parse()
+
+	var (
+		benches []Benchmark
+		pkg     string
+	)
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	for sc.Scan() {
+		line := sc.Text()
+		fmt.Println(line)
+		if p, ok := strings.CutPrefix(line, "pkg: "); ok {
+			pkg = strings.TrimSpace(p)
+			continue
+		}
+		if b, ok := parseBench(pkg, line); ok {
+			benches = append(benches, b)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		fatalf("read stdin: %v", err)
+	}
+
+	buf, err := json.MarshalIndent(map[string]any{"benchmarks": benches}, "", "  ")
+	if err != nil {
+		fatalf("encode: %v", err)
+	}
+	if err := os.WriteFile(*out, append(buf, '\n'), 0o644); err != nil {
+		fatalf("write %s: %v", *out, err)
+	}
+	fmt.Fprintf(os.Stderr, "benchjson: %d benchmark(s) -> %s\n", len(benches), *out)
+}
+
+// parseBench decodes one "BenchmarkX-8  N  T ns/op [B B/op  A allocs/op]"
+// line; ok is false for anything else.
+func parseBench(pkg, line string) (Benchmark, bool) {
+	fields := strings.Fields(line)
+	if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
+		return Benchmark{}, false
+	}
+	name := strings.TrimPrefix(fields[0], "Benchmark")
+	if i := strings.LastIndex(name, "-"); i > 0 {
+		if _, err := strconv.Atoi(name[i+1:]); err == nil {
+			name = name[:i]
+		}
+	}
+	iters, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return Benchmark{}, false
+	}
+	b := Benchmark{Pkg: pkg, Name: name, Iterations: iters}
+	// The remainder is "value unit" pairs.
+	seen := false
+	for i := 2; i+1 < len(fields); i += 2 {
+		v, unit := fields[i], fields[i+1]
+		switch unit {
+		case "ns/op":
+			if b.NsPerOp, err = strconv.ParseFloat(v, 64); err != nil {
+				return Benchmark{}, false
+			}
+			seen = true
+		case "B/op":
+			n, err := strconv.ParseInt(v, 10, 64)
+			if err != nil {
+				return Benchmark{}, false
+			}
+			b.BytesPerOp = &n
+		case "allocs/op":
+			n, err := strconv.ParseInt(v, 10, 64)
+			if err != nil {
+				return Benchmark{}, false
+			}
+			b.AllocsPerOp = &n
+		}
+	}
+	return b, seen
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "benchjson: "+format+"\n", args...)
+	os.Exit(1)
+}

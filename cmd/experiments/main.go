@@ -13,8 +13,10 @@
 // all.
 //
 // Observability: -metrics-out writes the merged telemetry snapshot of the
-// experiments that collect one (currently "telemetry") as JSON, and
-// -cpuprofile/-memprofile capture runtime/pprof profiles of the whole run.
+// experiments that collect one (currently "telemetry") as JSON, -trace-out
+// streams their structured event logs as JSONL (analysable with
+// tracetool), and -cpuprofile/-memprofile capture runtime/pprof profiles
+// of the whole run.
 package main
 
 import (
@@ -44,10 +46,12 @@ func main() {
 		csvDir   = flag.String("csv", "", "also write each table as CSV into this directory")
 
 		metricsOut = flag.String("metrics-out", "", "write the merged telemetry snapshot as JSON to this file")
+		traceOut   = flag.String("trace-out", "", "write telemetry-collecting runs' event streams as JSONL to this file (concatenates one stream per simulated trace; for tracetool check/diff record a single run with rmsim)")
 		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
 		memProfile = flag.String("memprofile", "", "write a heap profile taken after the run to this file")
 	)
 	flag.Parse()
+	validateFlags(*traces, *traceLen, *nodes)
 
 	cfg := experiments.DefaultConfig()
 	cfg.Traces = *traces
@@ -73,6 +77,15 @@ func main() {
 			"ablation-regret", "ablation-migration", "online-predictors",
 			"lookahead", "baseline-static", "load-surface", "telemetry",
 		}
+	}
+	var traceFile *os.File
+	if *traceOut != "" {
+		var err error
+		traceFile, err = os.Create(*traceOut)
+		if err != nil {
+			fatalf("trace-out: %v", err)
+		}
+		cfg.Tracer = telemetry.NewTracer(telemetry.TracerOptions{Sink: traceFile})
 	}
 	if *cpuProfile != "" {
 		f, err := os.Create(*cpuProfile)
@@ -107,6 +120,19 @@ func main() {
 	}
 	if *cpuProfile != "" {
 		pprof.StopCPUProfile()
+	}
+	if cfg.Tracer != nil {
+		// A sink write failure means the JSONL stream on disk is silently
+		// truncated; surface it rather than shipping a partial trace.
+		if err := cfg.Tracer.Flush(); err != nil {
+			fatalf("trace-out: %v", err)
+		}
+		if err := traceFile.Close(); err != nil {
+			fatalf("trace-out: %v", err)
+		}
+		if err := cfg.Tracer.Err(); err != nil {
+			fatalf("trace-out: event stream truncated: %v", err)
+		}
 	}
 	if *memProfile != "" {
 		f, err := os.Create(*memProfile)
@@ -264,6 +290,19 @@ func writeCSVs(dir, id string, tables []*experiments.Table) error {
 		}
 	}
 	return nil
+}
+
+// validateFlags rejects out-of-range workload parameters up front with
+// actionable messages instead of failing deep inside the first experiment.
+func validateFlags(traces, traceLen, nodes int) {
+	switch {
+	case traces <= 0:
+		fatalf("-traces %d must be positive", traces)
+	case traceLen <= 0:
+		fatalf("-len %d must be positive", traceLen)
+	case nodes < 0:
+		fatalf("-exact-nodes %d must be non-negative (0 = solver default)", nodes)
+	}
 }
 
 func fatalf(format string, args ...any) {

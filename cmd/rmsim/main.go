@@ -173,11 +173,16 @@ func main() {
 		fatalf("simulate: %v", err)
 	}
 	if tracer != nil {
+		// A sink write failure means the JSONL stream on disk is silently
+		// truncated; surface it rather than shipping a partial trace.
 		if err := tracer.Flush(); err != nil {
 			fatalf("trace-out: %v", err)
 		}
 		if err := traceFile.Close(); err != nil {
 			fatalf("trace-out: %v", err)
+		}
+		if err := tracer.Err(); err != nil {
+			fatalf("trace-out: event stream truncated: %v", err)
 		}
 	}
 	if *memProfile != "" {
@@ -227,15 +232,7 @@ func main() {
 			lat.Quantile(0.50)*1e6, lat.Quantile(0.95)*1e6, lat.Max*1e6, lat.Count)
 	}
 	if *showGantt > 0 {
-		var opening []sim.ExecSegment
-		for _, seg := range res.Execution {
-			if seg.Start < float64(*showGantt) {
-				if seg.End > float64(*showGantt) {
-					seg.End = float64(*showGantt)
-				}
-				opening = append(opening, seg)
-			}
-		}
+		opening := gantt.Clip(res.Execution, 0, float64(*showGantt))
 		if chart, err := gantt.New(plat, opening); err == nil {
 			fmt.Printf("\nexecuted schedule, t in [0, %d):\n", *showGantt)
 			if err := chart.Render(os.Stdout, 100); err != nil {

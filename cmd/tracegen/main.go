@@ -32,6 +32,7 @@ func main() {
 		gpus   = flag.Int("gpus", 1, "platform GPUs")
 	)
 	flag.Parse()
+	validateFlags(*count, *length, *types, *meanIA, *stdIA, *cpus, *gpus)
 
 	var tight trace.Tightness
 	switch *group {
@@ -76,6 +77,25 @@ func main() {
 			fatalf("write %s: %v", path, err)
 		}
 		fmt.Printf("%s  (%d requests, mean interarrival %.3f)\n", path, tr.Len(), tr.MeanInterarrival())
+	}
+}
+
+// validateFlags rejects out-of-range generator parameters up front with
+// actionable messages instead of failing inside the generators.
+func validateFlags(count, length, types int, meanIA, stdIA float64, cpus, gpus int) {
+	switch {
+	case count <= 0:
+		fatalf("-count %d must be positive", count)
+	case length <= 0:
+		fatalf("-len %d must be positive", length)
+	case types <= 0:
+		fatalf("-types %d must be positive", types)
+	case meanIA <= 0:
+		fatalf("-interarrival %g must be positive", meanIA)
+	case stdIA < 0:
+		fatalf("-interarrival-std %g must be non-negative", stdIA)
+	case cpus < 0 || gpus < 0 || cpus+gpus == 0:
+		fatalf("-cpus %d -gpus %d: need at least one resource", cpus, gpus)
 	}
 }
 

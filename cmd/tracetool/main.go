@@ -1,0 +1,168 @@
+// Command tracetool analyses the structured JSONL event traces written by
+// rmsim/experiments (-trace-out): it reconstructs what the resource
+// manager actually did and renders, checks, or compares it.
+//
+// Usage:
+//
+//	tracetool report events.jsonl              # text report + gantt chart
+//	tracetool chrome -o trace.json events.jsonl  # open in ui.perfetto.dev
+//	tracetool csv events.jsonl                 # decision-level timeseries
+//	tracetool check events.jsonl               # replay auditor (exit 1 on violations)
+//	tracetool diff base.jsonl pred.jsonl       # deltas between two runs
+//
+// The platform's preemption kinds and resource names are not serialised
+// into traces; -cpus/-gpus (default 5/1, the paper's platform) supply
+// them. The auditor's GPU-preemption check and the report's gantt labels
+// depend on getting these right.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"predrm/internal/platform"
+	"predrm/internal/traceview"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+	}
+	cmd, args := os.Args[1], os.Args[2:]
+	fs := flag.NewFlagSet("tracetool "+cmd, flag.ExitOnError)
+	var (
+		cpus    = fs.Int("cpus", 5, "preemptable resources in the emitting platform")
+		gpus    = fs.Int("gpus", 1, "non-preemptable resources in the emitting platform")
+		outPath = fs.String("o", "", "output file (default stdout)")
+		ganttN  = fs.Int("gantt", 100, "gantt chart columns in report (0 disables)")
+		strict  = fs.Bool("strict", false, "check: treat reader diagnostics as failures too")
+	)
+	if err := fs.Parse(args); err != nil {
+		os.Exit(2)
+	}
+	if *cpus < 0 || *gpus < 0 || *cpus+*gpus == 0 {
+		fatalf("-cpus %d -gpus %d: need at least one resource", *cpus, *gpus)
+	}
+	plat := platform.New(*cpus, *gpus)
+
+	paths := fs.Args()
+	want := 1
+	if cmd == "diff" {
+		want = 2
+	}
+	if len(paths) != want {
+		fatalf("%s takes %d trace file(s), got %d", cmd, want, len(paths))
+	}
+
+	out := io.Writer(os.Stdout)
+	if *outPath != "" {
+		f, err := os.Create(*outPath)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		defer func() {
+			if err := f.Close(); err != nil {
+				fatalf("%v", err)
+			}
+		}()
+		out = f
+	}
+
+	switch cmd {
+	case "report":
+		d := read(paths[0])
+		if err := traceview.WriteReport(out, traceview.BuildTimeline(d), plat, *ganttN); err != nil {
+			fatalf("report: %v", err)
+		}
+	case "chrome":
+		d := read(paths[0])
+		names := make([]string, plat.Len())
+		for i := range names {
+			names[i] = plat.Resource(i).Name
+		}
+		if err := traceview.WriteChromeTrace(out, traceview.BuildTimeline(d), names); err != nil {
+			fatalf("chrome: %v", err)
+		}
+	case "csv":
+		d := read(paths[0])
+		if err := traceview.WriteCSV(out, d); err != nil {
+			fatalf("csv: %v", err)
+		}
+	case "check":
+		d := read(paths[0])
+		for _, diag := range d.Diags {
+			fmt.Fprintf(os.Stderr, "tracetool: diagnostic: %s\n", diag)
+		}
+		violations := traceview.Audit(d, traceview.AuditOptions{Platform: plat})
+		for _, v := range violations {
+			fmt.Fprintf(out, "VIOLATION %s\n", v)
+		}
+		switch {
+		case len(violations) > 0:
+			fatalf("check: %s: %d invariant violation(s)", paths[0], len(violations))
+		case *strict && len(d.Diags) > 0:
+			fatalf("check: %s: %d diagnostic(s) under -strict", paths[0], len(d.Diags))
+		}
+		fmt.Fprintf(out, "ok: %d events, %d requests audited, 0 violations\n",
+			len(d.Events), len(traceview.BuildTimeline(d).Requests))
+	case "diff":
+		a := traceview.BuildTimeline(read(paths[0])).Summarize()
+		b := traceview.BuildTimeline(read(paths[1])).Summarize()
+		if err := traceview.WriteDiff(out, label(paths[0]), a, label(paths[1]), b); err != nil {
+			fatalf("diff: %v", err)
+		}
+	default:
+		usage()
+	}
+}
+
+// read decodes one trace file, failing hard on I/O errors only (schema
+// problems surface as diagnostics downstream).
+func read(path string) *traceview.Decoded {
+	d, err := traceview.ReadFile(path)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	return d
+}
+
+// label shortens a path for diff column headers.
+func label(path string) string {
+	base := path
+	for i := len(path) - 1; i >= 0; i-- {
+		if path[i] == '/' {
+			base = path[i+1:]
+			break
+		}
+	}
+	if len(base) > 16 {
+		base = base[:16]
+	}
+	return base
+}
+
+func usage() {
+	fmt.Fprint(os.Stderr, `usage: tracetool <command> [flags] <trace.jsonl> [trace2.jsonl]
+
+commands:
+  report   text summary + reconstructed gantt chart
+  chrome   Chrome trace-event JSON (Perfetto / chrome://tracing)
+  csv      decision-level timeseries
+  check    replay auditor: verify RM invariants from the trace alone
+  diff     compare two traces (e.g. predictive vs. baseline, same seed)
+
+flags (before the trace path):
+  -cpus N, -gpus N   emitting platform shape (default 5/1)
+  -o FILE            write output to FILE instead of stdout
+  -gantt N           report chart width in columns (0 disables)
+  -strict            check fails on reader diagnostics too
+`)
+	os.Exit(2)
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "tracetool: "+format+"\n", args...)
+	os.Exit(1)
+}

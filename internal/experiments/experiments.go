@@ -75,6 +75,11 @@ type Config struct {
 	ExactNodeLimit int
 	// Workers bounds concurrent trace simulations (0 = GOMAXPROCS).
 	Workers int
+	// Tracer, when non-nil, streams structured events from every
+	// telemetry-collecting simulation. Setting it forces Workers to 1 so
+	// the JSONL stream stays a coherent single-run sequence instead of an
+	// interleaving of concurrent traces.
+	Tracer *telemetry.Tracer
 }
 
 // DefaultConfig returns a laptop-scale configuration: large enough for the
@@ -245,6 +250,9 @@ func runGrid(cfg Config, tight trace.Tightness, variants []variant) (*grid, erro
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
+	if cfg.Tracer != nil {
+		workers = 1
+	}
 	type job struct{ t, v int }
 	jobs := make(chan job)
 	errs := make(chan error, workers)
@@ -295,6 +303,7 @@ func runOne(cfg Config, plat *platform.Platform, set *task.Set, tr *trace.Trace,
 	}
 	if v.telemetry {
 		scfg.Metrics = telemetry.NewRegistry()
+		scfg.Tracer = cfg.Tracer
 	}
 	switch {
 	case v.online != nil:

@@ -62,6 +62,27 @@ func New(plat *platform.Platform, segs []sim.ExecSegment) (*Chart, error) {
 	return c, nil
 }
 
+// Clip returns the segments restricted to the window [from, to): segments
+// outside it are dropped, segments straddling a boundary are trimmed. The
+// input is not modified. Renderers use it to chart an opening window of a
+// long schedule.
+func Clip(segs []sim.ExecSegment, from, to float64) []sim.ExecSegment {
+	var out []sim.ExecSegment
+	for _, s := range segs {
+		if s.End <= from || s.Start >= to {
+			continue
+		}
+		if s.Start < from {
+			s.Start = from
+		}
+		if s.End > to {
+			s.End = to
+		}
+		out = append(out, s)
+	}
+	return out
+}
+
 // Span returns the chart's time range.
 func (c *Chart) Span() (from, to float64) { return c.from, c.to }
 

@@ -237,6 +237,85 @@ type runner struct {
 	// pendingResv holds the reservations installed by the last replan, so
 	// the next activation can report whether they were held (plan mode).
 	pendingResv []ghostRef
+	// running tracks, per resource, the job currently mid-execution there.
+	// It exists only to emit job_start/job_preempt/job_finish lifecycle
+	// events and is nil when tracing is disabled.
+	running []*sched.Job
+	// critEnergy accumulates per-job energy for critical releases (adaptive
+	// jobs use their JobRecord), so job_finish can report consumption.
+	// Trace-only, like running.
+	critEnergy map[*sched.Job]float64
+}
+
+// emitLifecycle reports a job execution transition on resource res.
+func (r *runner) emitLifecycle(typ telemetry.EventType, j *sched.Job, res int, reason string) {
+	e := telemetry.NewEvent(r.now, typ)
+	e.Req = j.ID
+	e.Task = j.Type.ID
+	e.Res = res
+	e.Reason = reason
+	e.Value = j.Frac
+	r.trc.Emit(e)
+}
+
+// noteExec registers that j is about to execute on res, emitting job_start
+// when the resource's occupancy changes. Called only when tracing.
+func (r *runner) noteExec(j *sched.Job, res int) {
+	if r.running[res] == j {
+		return
+	}
+	reason := "start"
+	if j.Started {
+		reason = "resume"
+	}
+	r.emitLifecycle(telemetry.EvJobStart, j, res, reason)
+	r.running[res] = j
+}
+
+// notePauses closes the occupancy slot of every resource whose current
+// occupant does not continue executing there in the step about to run,
+// emitting job_preempt with the transition cause. Finished occupants are
+// reported by reap instead. Called only when tracing.
+func (r *runner) notePauses(acts []execAction) {
+	for res, occ := range r.running {
+		if occ == nil {
+			continue
+		}
+		continues, migrates := false, false
+		var displacer *sched.Job
+		for _, a := range acts {
+			switch {
+			case a.res == res && a.job == occ:
+				continues = true
+			case a.res == res:
+				displacer = a.job
+			case a.job == occ:
+				migrates = true
+			}
+		}
+		if continues {
+			continue
+		}
+		if occ.Done() {
+			r.running[res] = nil // reap emits job_finish
+			continue
+		}
+		reason := "paused"
+		if displacer != nil {
+			reason = "displaced"
+		}
+		if migrates {
+			reason = "migrated"
+		}
+		r.emitLifecycle(telemetry.EvJobPreempt, occ, res, reason)
+		r.running[res] = nil
+	}
+}
+
+// execAction is one (resource, job) dispatch of an execution step.
+type execAction struct {
+	res int
+	job *sched.Job
 }
 
 // flushReservations reports the fate of the standing reservations once the
@@ -364,6 +443,10 @@ func Run(cfg Config, tr *trace.Trace) (*Result, error) {
 		trc: cfg.Tracer,
 		ins: newInstruments(cfg.Metrics),
 	}
+	if r.trc != nil {
+		r.running = make([]*sched.Job, cfg.Platform.Len())
+		r.critEnergy = make(map[*sched.Job]float64)
+	}
 	if cfg.Metrics != nil {
 		if inst, ok := cfg.Solver.(telemetry.Instrumentable); ok {
 			inst.AttachMetrics(cfg.Metrics)
@@ -383,15 +466,17 @@ func Run(cfg Config, tr *trace.Trace) (*Result, error) {
 			AbsDeadline: req.Arrival + req.Deadline,
 		}
 		r.ins.requests.Inc()
+		if err := r.advanceTo(req.Arrival); err != nil {
+			return nil, err
+		}
+		// Emitted after advancing so the stream stays time-ordered: the
+		// execution events between two arrivals carry earlier timestamps.
 		if r.trc != nil {
 			e := telemetry.NewEvent(req.Arrival, telemetry.EvArrival)
 			e.Req = idx
 			e.Task = req.Type
 			e.Value = req.Arrival + req.Deadline
 			r.trc.Emit(e)
-		}
-		if err := r.advanceTo(req.Arrival); err != nil {
-			return nil, err
 		}
 
 		overhead := cfg.ExtraOverhead
@@ -689,11 +774,7 @@ func (r *runner) advance(target float64) {
 		if len(r.active) == 0 {
 			break // reap keeps only unfinished jobs
 		}
-		type action struct {
-			res int
-			job *sched.Job
-		}
-		var acts []action
+		var acts []execAction
 		step := math.Inf(1)
 		if !math.IsInf(target, 1) {
 			step = target - r.now
@@ -725,7 +806,7 @@ func (r *runner) advance(target float64) {
 				if bound < step {
 					step = bound
 				}
-				acts = append(acts, action{res, s.job})
+				acts = append(acts, execAction{res, s.job})
 				break
 			}
 		}
@@ -734,6 +815,9 @@ func (r *runner) advance(target float64) {
 		}
 		if step <= 0 {
 			step = sched.Eps
+		}
+		if r.running != nil {
+			r.notePauses(acts)
 		}
 		for _, a := range acts {
 			r.execute(a.job, a.res, step)
@@ -777,8 +861,18 @@ func (r *runner) advanceGreedy(target float64) {
 		if step <= 0 {
 			step = sched.Eps
 		}
-		for res, j := range heads {
-			r.execute(j, res, step)
+		// Dispatch in resource order so trace emission is deterministic.
+		acts := make([]execAction, 0, len(heads))
+		for res := 0; res < r.cfg.Platform.Len(); res++ {
+			if j, ok := heads[res]; ok {
+				acts = append(acts, execAction{res, j})
+			}
+		}
+		if r.running != nil {
+			r.notePauses(acts)
+		}
+		for _, a := range acts {
+			r.execute(a.job, a.res, step)
 		}
 		r.now += step
 		r.reap()
@@ -817,6 +911,9 @@ func preferHead(p *platform.Platform, a, b *sched.Job) *sched.Job {
 // execute serves dt time of job j on resource res: migration debt first,
 // then useful work with energy accounting.
 func (r *runner) execute(j *sched.Job, res int, dt float64) {
+	if r.running != nil {
+		r.noteExec(j, res)
+	}
 	j.Started = true
 	j.ExecRes = res
 	if r.cfg.RecordExecution {
@@ -845,6 +942,9 @@ func (r *runner) execute(j *sched.Job, res int, dt float64) {
 		r.res.TotalEnergy += energy
 	} else {
 		r.res.CriticalEnergy += energy
+		if r.critEnergy != nil {
+			r.critEnergy[j] += energy
+		}
 	}
 	if j.Frac < sched.Eps {
 		j.Frac = 0
@@ -870,6 +970,30 @@ func (r *runner) record(res, jobID int, dt float64) {
 	})
 }
 
+// noteFinish emits job_finish for a completed job and releases its
+// occupancy slot. Called only when tracing.
+func (r *runner) noteFinish(j *sched.Job) {
+	res := j.ExecRes
+	for i, occ := range r.running {
+		if occ == j {
+			r.running[i] = nil
+			res = i
+		}
+	}
+	e := telemetry.NewEvent(r.now, telemetry.EvJobFinish)
+	e.Req = j.ID
+	e.Task = j.Type.ID
+	e.Res = res
+	if j.ID >= 0 {
+		e.Value = r.rec[j.ID].Energy
+	} else {
+		e.Value = r.critEnergy[j]
+		e.Reason = "critical"
+		delete(r.critEnergy, j)
+	}
+	r.trc.Emit(e)
+}
+
 // reap retires completed jobs, auditing the deadline invariant.
 func (r *runner) reap() {
 	kept := r.active[:0]
@@ -877,6 +1001,9 @@ func (r *runner) reap() {
 		if !j.Done() {
 			kept = append(kept, j)
 			continue
+		}
+		if r.running != nil {
+			r.noteFinish(j)
 		}
 		if j.ID < 0 {
 			// Critical job: only the deadline audit applies.

@@ -96,6 +96,7 @@ func TestTelemetryGoldenEvents(t *testing.T) {
 		telemetry.EvSolverInvoked, telemetry.EvSolverReturned,
 		telemetry.EvAdmit, telemetry.EvReject, telemetry.EvMigration,
 		telemetry.EvReservationPlanned, telemetry.EvReservationHonoured,
+		telemetry.EvJobStart, telemetry.EvJobFinish, telemetry.EvJobPreempt,
 	} {
 		if seen[want] == 0 {
 			t.Errorf("event type %q missing from stream (have %v)", want, seen)

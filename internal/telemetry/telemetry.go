@@ -68,7 +68,35 @@ const (
 	// under work-conserving execution, which backfills reserved gaps
 	// instead of honouring them (ablation A4).
 	EvReservationBackfilled EventType = "reservation_backfilled"
+	// EvJobStart: the job of request Req (negative for a critical release)
+	// began or resumed executing on resource Res. Reason is "start" for the
+	// first dispatch and "resume" afterwards; Value is the remaining work
+	// fraction.
+	EvJobStart EventType = "job_start"
+	// EvJobPreempt: the job of request Req stopped executing on resource
+	// Res before completing. Reason is "displaced" (another job took the
+	// resource), "migrated" (the job continued on another resource), or
+	// "paused" (the planned schedule idles the resource, e.g. through a
+	// reservation gap); Value is the remaining work fraction. Must never
+	// occur on a non-preemptable resource.
+	EvJobPreempt EventType = "job_preempt"
+	// EvJobFinish: the job of request Req completed on resource Res.
+	// Value is the job's total consumed energy (including migrations);
+	// Reason is "critical" for critical releases.
+	EvJobFinish EventType = "job_finish"
 )
+
+// KnownEventTypes returns every event type internal/sim emits, in schema
+// order. Trace consumers (internal/traceview) use it to flag records from
+// a newer or foreign schema.
+func KnownEventTypes() []EventType {
+	return []EventType{
+		EvArrival, EvPrediction, EvSolverInvoked, EvSolverReturned,
+		EvAdmit, EvReject, EvMigration, EvCriticalRelease,
+		EvReservationPlanned, EvReservationHonoured, EvReservationBackfilled,
+		EvJobStart, EvJobPreempt, EvJobFinish,
+	}
+}
 
 // Event is one structured trace record. The zero value is not meaningful;
 // build events with NewEvent so the -1 conventions hold.

@@ -114,6 +114,19 @@ func (t *Tracer) Dropped() int64 {
 	return t.dropped
 }
 
+// Err returns the first sink write error encountered so far, without
+// flushing. Once a write fails the tracer stops writing to the sink (the
+// ring keeps recording), so a non-nil Err means the sink holds a
+// truncated stream. Nil-safe.
+func (t *Tracer) Err() error {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.err
+}
+
 // Flush drains buffered sink writes and returns the first write error
 // encountered so far. Nil-safe.
 func (t *Tracer) Flush() error {

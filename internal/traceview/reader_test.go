@@ -1,0 +1,153 @@
+package traceview
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"predrm/internal/telemetry"
+)
+
+var updateGolden = flag.Bool("update-golden", false, "rewrite testdata golden files")
+
+// randomEvents builds a schema-conforming event stream with non-decreasing
+// simulated time: the round-trip property holds for any such stream, not
+// just the simulator's.
+func randomEvents(r *rand.Rand, n int) []telemetry.Event {
+	types := telemetry.KnownEventTypes()
+	out := make([]telemetry.Event, n)
+	t := 0.0
+	for i := range out {
+		t += r.Float64()
+		e := telemetry.NewEvent(t, types[r.Intn(len(types))])
+		if r.Intn(2) == 0 {
+			e.Req = r.Intn(100)
+		}
+		if r.Intn(2) == 0 {
+			e.Task = r.Intn(20)
+		}
+		if r.Intn(2) == 0 {
+			e.Res = r.Intn(6)
+		}
+		e.Value = float64(r.Intn(1000)) / 8 // exactly representable
+		e.WallNs = int64(r.Intn(100_000))
+		if r.Intn(3) == 0 {
+			e.Reason = fmt.Sprintf("reason_%d", r.Intn(4))
+		}
+		out[i] = e
+	}
+	return out
+}
+
+// TestReadRoundTrip checks Event -> Tracer sink (JSONL) -> Read is the
+// identity on random schema-conforming streams, with zero diagnostics.
+func TestReadRoundTrip(t *testing.T) {
+	r := rand.New(rand.NewSource(42))
+	for round := 0; round < 20; round++ {
+		events := randomEvents(r, 1+r.Intn(200))
+		var sink bytes.Buffer
+		tracer := telemetry.NewTracer(telemetry.TracerOptions{Sink: &sink})
+		for _, e := range events {
+			tracer.Emit(e)
+		}
+		if err := tracer.Flush(); err != nil {
+			t.Fatal(err)
+		}
+
+		d, err := Read(&sink)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(d.Diags) != 0 {
+			t.Fatalf("round %d: unexpected diagnostics: %v", round, d.Diags)
+		}
+		if d.Dropped != 0 {
+			t.Fatalf("round %d: dropped %d from a gap-free stream", round, d.Dropped)
+		}
+		if len(d.Events) != len(events) {
+			t.Fatalf("round %d: got %d events, want %d", round, len(d.Events), len(events))
+		}
+		for i, got := range d.Events {
+			want := events[i]
+			want.Seq = int64(i) // the tracer assigns sequence numbers
+			if got != want {
+				t.Fatalf("round %d event %d: got %+v, want %+v", round, i, got, want)
+			}
+		}
+	}
+}
+
+// TestReadRingDrop checks that dumping an overflowed ring produces a
+// leading sequence-gap diagnostic whose inferred drop count matches the
+// tracer's own accounting.
+func TestReadRingDrop(t *testing.T) {
+	const ringSize, emitted = 8, 20
+	r := rand.New(rand.NewSource(7))
+	tracer := telemetry.NewTracer(telemetry.TracerOptions{RingSize: ringSize})
+	for _, e := range randomEvents(r, emitted) {
+		tracer.Emit(e)
+	}
+	if got := tracer.Dropped(); got != emitted-ringSize {
+		t.Fatalf("tracer dropped %d, want %d", got, emitted-ringSize)
+	}
+
+	var buf bytes.Buffer
+	for _, e := range tracer.Events() {
+		line, err := json.Marshal(e)
+		if err != nil {
+			t.Fatal(err)
+		}
+		buf.Write(line)
+		buf.WriteByte('\n')
+	}
+	d, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(d.Events) != ringSize {
+		t.Fatalf("got %d events, want %d", len(d.Events), ringSize)
+	}
+	if d.Dropped != emitted-ringSize {
+		t.Fatalf("inferred %d dropped, want %d", d.Dropped, emitted-ringSize)
+	}
+	if len(d.Diags) != 1 || d.Diags[0].Kind != DiagSequenceGap {
+		t.Fatalf("want one leading %v diagnostic, got %v", DiagSequenceGap, d.Diags)
+	}
+	if d.Diags[0].Line != 1 {
+		t.Fatalf("gap reported on line %d, want 1", d.Diags[0].Line)
+	}
+}
+
+// TestReadDiagnostics checks each damage mode surfaces as its typed
+// diagnostic without aborting the read.
+func TestReadDiagnostics(t *testing.T) {
+	stream := strings.Join([]string{
+		`{"seq":0,"t":1,"type":"arrival","req":0,"task":1,"res":-1,"value":4}`,
+		`not json at all`,
+		`{"seq":1,"t":2,"type":"wormhole","req":-1,"task":-1,"res":-1}`,
+		`{"seq":1,"t":2,"type":"admit","req":0,"task":1,"res":0}`,
+		`{"seq":2,"t":1.5,"type":"job_start","req":0,"task":1,"res":0}`,
+	}, "\n") + "\n"
+	d, err := Read(strings.NewReader(stream))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(d.Events) != 4 { // the malformed line is skipped, the rest kept
+		t.Fatalf("got %d events, want 4", len(d.Events))
+	}
+	kinds := make(map[DiagKind]int)
+	for _, diag := range d.Diags {
+		kinds[diag.Kind]++
+	}
+	for _, want := range []DiagKind{
+		DiagMalformedLine, DiagUnknownEventType, DiagSequenceRegression, DiagTimeRegression,
+	} {
+		if kinds[want] != 1 {
+			t.Errorf("want exactly one %v, got %d (all: %v)", want, kinds[want], d.Diags)
+		}
+	}
+}
