@@ -1,11 +1,12 @@
 GO ?= go
 
-.PHONY: check build test vet race bench tracecheck
+.PHONY: check build test vet race bench benchcheck tracecheck
 
 # check is the repo gate: vet, build everything, run the full test suite
 # under the race detector (the telemetry layer is concurrency-safe by
-# contract), and audit the golden trace with the replay checker.
-check: vet build race tracecheck
+# contract), audit the golden trace with the replay checker, and gate the
+# hot-path benchmarks against the committed baseline (skip: BENCHCHECK=0).
+check: vet build race tracecheck benchcheck
 
 build:
 	$(GO) build ./...
@@ -23,6 +24,19 @@ race:
 # (ns/op, B/op, allocs/op per benchmark) for regression tracking.
 bench:
 	$(GO) test -bench=. -benchmem ./... | $(GO) run ./cmd/benchjson -out BENCH.json
+
+# benchcheck reruns the hot-path benchmarks (solver entry points and
+# per-activation feasibility probes) and gates them against the committed
+# BENCH.json baseline: fail past +15% ns/op or any allocs/op increase.
+# Set BENCHCHECK=0 to skip (e.g. on noisy shared machines).
+BENCHCHECK ?= 1
+benchcheck:
+	@if [ "$(BENCHCHECK)" = "0" ]; then \
+		echo "benchcheck: skipped (BENCHCHECK=0)"; \
+	else \
+		$(GO) test -run='^$$' -bench='HeuristicSolve|OptimalSolve|ResourceFeasible|SimulateEDF|FeasibleSorted' -benchmem \
+			./internal/sched/ ./internal/exact/ | $(GO) run ./cmd/benchjson -out= -compare BENCH.json; \
+	fi
 
 # tracecheck replays the golden event trace through the auditor: the
 # recorded run must satisfy every resource-manager invariant.

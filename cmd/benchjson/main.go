@@ -8,6 +8,16 @@
 // stripped), iterations, ns/op, and — when -benchmem was given — B/op and
 // allocs/op. Lines that are not benchmark results (goos/pkg headers, PASS,
 // ok) are echoed but otherwise ignored.
+//
+// With -compare the tool additionally acts as a regression gate: the
+// parsed results are checked against a previously written baseline, and
+// any hot-path benchmark (selected by -hot) that got slower than
+// -ns-threshold, or that allocates more per op than it used to, fails the
+// run with a non-zero exit. Benchmarks present on only one side are
+// skipped, so a subset run can be gated against a full baseline:
+//
+//	go test -bench='HeuristicSolve' -benchmem ./internal/exact/ |
+//	    benchjson -out= -compare BENCH.json
 package main
 
 import (
@@ -16,9 +26,15 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"regexp"
 	"strconv"
 	"strings"
 )
+
+// defaultHot selects the decision hot-path benchmarks: the solver entry
+// points, the per-activation feasibility probes, and the end-to-end
+// simulation run. Sub-benchmarks (Name/case) are matched by the ($|/).
+const defaultHot = `^(HeuristicSolve|OptimalSolve|Run|ResourceFeasible|SimulateEDF|FeasibleSorted)($|/)`
 
 // Benchmark is one parsed result line.
 type Benchmark struct {
@@ -37,8 +53,16 @@ type Benchmark struct {
 }
 
 func main() {
-	out := flag.String("out", "BENCH.json", "write the JSON summary to this file")
+	out := flag.String("out", "BENCH.json", "write the JSON summary to this file (empty: don't write)")
+	compareWith := flag.String("compare", "", "baseline JSON to gate against; regressions exit non-zero")
+	nsThreshold := flag.Float64("ns-threshold", 0.15, "allowed fractional ns/op increase on hot benchmarks")
+	hot := flag.String("hot", defaultHot, "regexp selecting the hot-path benchmarks the gate applies to")
 	flag.Parse()
+
+	hotRe, err := regexp.Compile(*hot)
+	if err != nil {
+		fatalf("bad -hot regexp: %v", err)
+	}
 
 	var (
 		benches []Benchmark
@@ -61,14 +85,84 @@ func main() {
 		fatalf("read stdin: %v", err)
 	}
 
-	buf, err := json.MarshalIndent(map[string]any{"benchmarks": benches}, "", "  ")
+	if *out != "" {
+		buf, err := json.MarshalIndent(map[string]any{"benchmarks": benches}, "", "  ")
+		if err != nil {
+			fatalf("encode: %v", err)
+		}
+		if err := os.WriteFile(*out, append(buf, '\n'), 0o644); err != nil {
+			fatalf("write %s: %v", *out, err)
+		}
+		fmt.Fprintf(os.Stderr, "benchjson: %d benchmark(s) -> %s\n", len(benches), *out)
+	}
+
+	if *compareWith != "" {
+		baseline, err := loadBaseline(*compareWith)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		regressions, compared := compare(baseline, benches, hotRe, *nsThreshold)
+		if compared == 0 {
+			fatalf("compare %s: no hot benchmarks in common with the baseline", *compareWith)
+		}
+		for _, msg := range regressions {
+			fmt.Fprintf(os.Stderr, "benchjson: REGRESSION: %s\n", msg)
+		}
+		if len(regressions) > 0 {
+			fatalf("%d regression(s) vs %s (threshold +%.0f%% ns/op, +0 allocs/op)",
+				len(regressions), *compareWith, *nsThreshold*100)
+		}
+		fmt.Fprintf(os.Stderr, "benchjson: %d hot benchmark(s) within budget of %s\n", compared, *compareWith)
+	}
+}
+
+// loadBaseline reads a JSON summary previously written by -out.
+func loadBaseline(path string) ([]Benchmark, error) {
+	buf, err := os.ReadFile(path)
 	if err != nil {
-		fatalf("encode: %v", err)
+		return nil, err
 	}
-	if err := os.WriteFile(*out, append(buf, '\n'), 0o644); err != nil {
-		fatalf("write %s: %v", *out, err)
+	var doc struct {
+		Benchmarks []Benchmark `json:"benchmarks"`
 	}
-	fmt.Fprintf(os.Stderr, "benchjson: %d benchmark(s) -> %s\n", len(benches), *out)
+	if err := json.Unmarshal(buf, &doc); err != nil {
+		return nil, fmt.Errorf("parse %s: %v", path, err)
+	}
+	return doc.Benchmarks, nil
+}
+
+// compare gates cur against base: for every hot benchmark present on both
+// sides, the ns/op may not grow by more than nsThreshold (fractional) and
+// allocs/op may not grow at all. It returns the regression descriptions
+// and the number of benchmarks actually compared; benchmarks on only one
+// side are ignored so a subset run can be gated against a full baseline.
+func compare(base, cur []Benchmark, hot *regexp.Regexp, nsThreshold float64) (regressions []string, compared int) {
+	old := make(map[string]Benchmark, len(base))
+	for _, b := range base {
+		old[b.Pkg+"."+b.Name] = b
+	}
+	for _, b := range cur {
+		if !hot.MatchString(b.Name) {
+			continue
+		}
+		prev, ok := old[b.Pkg+"."+b.Name]
+		if !ok {
+			continue
+		}
+		compared++
+		if prev.NsPerOp > 0 && b.NsPerOp > prev.NsPerOp*(1+nsThreshold) {
+			regressions = append(regressions, fmt.Sprintf(
+				"%s %s: %.1f ns/op, baseline %.1f (+%.0f%% > +%.0f%% budget)",
+				b.Pkg, b.Name, b.NsPerOp, prev.NsPerOp,
+				(b.NsPerOp/prev.NsPerOp-1)*100, nsThreshold*100))
+		}
+		if prev.AllocsPerOp != nil && b.AllocsPerOp != nil && *b.AllocsPerOp > *prev.AllocsPerOp {
+			regressions = append(regressions, fmt.Sprintf(
+				"%s %s: %d allocs/op, baseline %d (allocation budget is +0)",
+				b.Pkg, b.Name, *b.AllocsPerOp, *prev.AllocsPerOp))
+		}
+	}
+	return regressions, compared
 }
 
 // parseBench decodes one "BenchmarkX-8  N  T ns/op [B B/op  A allocs/op]"

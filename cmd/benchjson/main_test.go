@@ -1,0 +1,92 @@
+package main
+
+import (
+	"regexp"
+	"strings"
+	"testing"
+)
+
+func i64(v int64) *int64 { return &v }
+
+func TestParseBench(t *testing.T) {
+	b, ok := parseBench("predrm/internal/exact",
+		"BenchmarkHeuristicSolve-8   	 2203842	       542.4 ns/op	      25 B/op	       1 allocs/op")
+	if !ok {
+		t.Fatal("line not recognised")
+	}
+	if b.Name != "HeuristicSolve" || b.Pkg != "predrm/internal/exact" {
+		t.Fatalf("parsed %+v", b)
+	}
+	if b.NsPerOp != 542.4 || *b.BytesPerOp != 25 || *b.AllocsPerOp != 1 {
+		t.Fatalf("parsed metrics %+v", b)
+	}
+	if _, ok := parseBench("p", "ok  	predrm	0.1s"); ok {
+		t.Fatal("non-benchmark line accepted")
+	}
+	if b, ok := parseBench("p", "BenchmarkResourceFeasible/preemptable-future-8 	 100 	 358.2 ns/op"); !ok || b.Name != "ResourceFeasible/preemptable-future" {
+		t.Fatalf("sub-benchmark parsed as %+v ok=%v", b, ok)
+	}
+}
+
+func TestCompareGate(t *testing.T) {
+	hot := regexp.MustCompile(defaultHot)
+	base := []Benchmark{
+		{Pkg: "p", Name: "HeuristicSolve", NsPerOp: 500, AllocsPerOp: i64(1)},
+		{Pkg: "p", Name: "ResourceFeasible/preemptable-allready", NsPerOp: 70, AllocsPerOp: i64(0)},
+		{Pkg: "p", Name: "Fig2a", NsPerOp: 1000, AllocsPerOp: i64(9)},
+	}
+
+	t.Run("within-budget", func(t *testing.T) {
+		cur := []Benchmark{
+			{Pkg: "p", Name: "HeuristicSolve", NsPerOp: 560, AllocsPerOp: i64(1)}, // +12% < +15%
+			{Pkg: "p", Name: "ResourceFeasible/preemptable-allready", NsPerOp: 69, AllocsPerOp: i64(0)},
+		}
+		regs, compared := compare(base, cur, hot, 0.15)
+		if len(regs) != 0 || compared != 2 {
+			t.Fatalf("regs=%v compared=%d", regs, compared)
+		}
+	})
+
+	t.Run("ns-regression", func(t *testing.T) {
+		cur := []Benchmark{{Pkg: "p", Name: "HeuristicSolve", NsPerOp: 600, AllocsPerOp: i64(1)}} // +20%
+		regs, _ := compare(base, cur, hot, 0.15)
+		if len(regs) != 1 || !strings.Contains(regs[0], "ns/op") {
+			t.Fatalf("regs=%v", regs)
+		}
+	})
+
+	t.Run("alloc-regression", func(t *testing.T) {
+		cur := []Benchmark{{Pkg: "p", Name: "HeuristicSolve", NsPerOp: 500, AllocsPerOp: i64(2)}}
+		regs, _ := compare(base, cur, hot, 0.15)
+		if len(regs) != 1 || !strings.Contains(regs[0], "allocs/op") {
+			t.Fatalf("regs=%v", regs)
+		}
+	})
+
+	t.Run("cold-benchmarks-ignored", func(t *testing.T) {
+		cur := []Benchmark{
+			{Pkg: "p", Name: "Fig2a", NsPerOp: 5000, AllocsPerOp: i64(90)}, // not hot
+			{Pkg: "p", Name: "HeuristicSolve", NsPerOp: 500, AllocsPerOp: i64(1)},
+		}
+		regs, compared := compare(base, cur, hot, 0.15)
+		if len(regs) != 0 || compared != 1 {
+			t.Fatalf("regs=%v compared=%d", regs, compared)
+		}
+	})
+
+	t.Run("one-sided-benchmarks-skipped", func(t *testing.T) {
+		cur := []Benchmark{{Pkg: "p", Name: "SimulateEDF/new-case", NsPerOp: 1, AllocsPerOp: i64(99)}}
+		regs, compared := compare(base, cur, hot, 0.15)
+		if len(regs) != 0 || compared != 0 {
+			t.Fatalf("regs=%v compared=%d", regs, compared)
+		}
+	})
+
+	t.Run("missing-benchmem-tolerated", func(t *testing.T) {
+		cur := []Benchmark{{Pkg: "p", Name: "HeuristicSolve", NsPerOp: 510}}
+		regs, compared := compare(base, cur, hot, 0.15)
+		if len(regs) != 0 || compared != 1 {
+			t.Fatalf("regs=%v compared=%d", regs, compared)
+		}
+	})
+}

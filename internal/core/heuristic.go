@@ -44,6 +44,13 @@ type Solver interface {
 }
 
 // Heuristic is the paper's Algorithm 1. The zero value is ready to use.
+//
+// A Heuristic keeps a reusable scratch arena (mapping, capacities,
+// per-resource entry lists, the cpm/desirability matrices and the
+// incremental feasible-set caches) that is reset — not reallocated — on
+// every Solve, so the decision hot path is allocation-free in steady state
+// apart from the returned Decision.Mapping. It is therefore not safe for
+// concurrent use: give each goroutine its own instance.
 type Heuristic struct {
 	// Greedy disables the max-regret task ordering and assigns jobs in
 	// index order instead (ablation A1). The per-resource capacity and
@@ -53,6 +60,25 @@ type Heuristic struct {
 	// Telemetry instruments (nil-safe no-ops until AttachMetrics).
 	solves, infeasible *telemetry.Counter
 	problemJobs        *telemetry.Histogram
+
+	// Per-solve state, valid between the top of Solve and its return.
+	p *sched.Problem
+	n int // p.Platform.Len()
+
+	// Scratch arena. cpm and des flatten the [job][resource] matrices as
+	// job*n+r; feas flattens the feasible-set membership the same way.
+	mapping    []int
+	capacity   []float64
+	lists      []sched.EntryList
+	edf        sched.EDFScratch
+	cpm        []float64
+	des        []float64
+	feas       []bool
+	feasCount  []int
+	best       []float64 // best desirability over the current feasible set
+	second     []float64 // second-best desirability (+Inf when |F_j| == 1)
+	unassigned []int
+	pickSet    []int
 }
 
 var _ Solver = (*Heuristic)(nil)
@@ -66,123 +92,115 @@ func (h *Heuristic) AttachMetrics(reg *telemetry.Registry) {
 	h.problemJobs = reg.Histogram("core.problem_jobs", telemetry.CountBuckets)
 }
 
+// grow sizes the arena for m jobs on n resources, reusing prior capacity.
+func (h *Heuristic) grow(m, n int) {
+	if cap(h.mapping) < m {
+		h.mapping = make([]int, m)
+		h.feasCount = make([]int, m)
+		h.best = make([]float64, m)
+		h.second = make([]float64, m)
+		h.unassigned = make([]int, 0, m)
+	}
+	if cap(h.capacity) < n {
+		h.capacity = make([]float64, n)
+		h.pickSet = make([]int, 0, n)
+	}
+	if len(h.lists) < n {
+		h.lists = append(h.lists, make([]sched.EntryList, n-len(h.lists))...)
+	}
+	if cap(h.cpm) < m*n {
+		h.cpm = make([]float64, m*n)
+		h.des = make([]float64, m*n)
+		h.feas = make([]bool, m*n)
+	}
+}
+
 // Solve runs Algorithm 1 on p.
 func (h *Heuristic) Solve(p *sched.Problem) Decision {
 	h.solves.Inc()
 	h.problemJobs.Observe(float64(len(p.Jobs)))
-	n := p.Platform.Len()
 	jobs := p.Jobs
-	mapping := make([]int, len(jobs))
+	m, n := len(jobs), p.Platform.Len()
+	h.p, h.n = p, n
+	h.grow(m, n)
+
+	mapping := h.mapping[:m]
 	for i := range mapping {
 		mapping[i] = sched.Unmapped
 	}
 
 	// Per-resource remaining capacity K̄_i and the entries mapped so far
-	// (for IsSchedulable).
+	// (for the schedulability probes), kept in FeasibleSorted service order.
 	window := p.Window()
-	capacity := make([]float64, n)
+	capacity := h.capacity[:n]
 	for i := range capacity {
 		capacity[i] = window
+		h.lists[i].Reset()
 	}
-	entries := make([][]sched.Entry, n)
 
-	assign := func(jobIdx, r int) {
-		mapping[jobIdx] = r
-		cpm := jobs[jobIdx].CPM(r, p.Policy)
-		capacity[r] -= cpm
-		j := jobs[jobIdx]
-		entries[r] = append(entries[r], sched.Entry{
-			ReadyAt:     math.Max(j.Arrival, p.Time),
-			Deadline:    j.AbsDeadline,
-			Rem:         cpm,
-			PinnedFirst: j.Pinned(p.Platform) && j.Resource == r,
-		})
+	// Desirability f_{j,i} = ep + em + M·(cpm > t_left); +Inf when the
+	// type cannot run on i (line 6 of Algorithm 1). cpm, epm and t_left
+	// are invariant over one solve, so the matrix is evaluated once and
+	// serves both the max-regret loop and the placement loop.
+	cpm := h.cpm[:m*n]
+	des := h.des[:m*n]
+	for ji, j := range jobs {
+		tl := j.TimeLeft(p.Time)
+		base := ji * n
+		for r := 0; r < n; r++ {
+			c := j.CPM(r, p.Policy)
+			cpm[base+r] = c
+			if c == task.NotExecutable {
+				des[base+r] = math.Inf(1)
+				continue
+			}
+			e := j.EPM(r, p.Policy)
+			if c > tl+sched.Eps {
+				e += bigM
+			}
+			des[base+r] = e
+		}
 	}
 
 	// Pinned jobs are not free decisions: pre-assign them so the heuristic
 	// plans around the work it cannot move.
-	unassigned := make([]int, 0, len(jobs))
+	unassigned := h.unassigned[:0]
 	for idx, j := range jobs {
 		if j.Fixed || j.Pinned(p.Platform) {
-			assign(idx, j.Resource)
+			h.assign(idx, j.Resource)
 			continue
 		}
 		unassigned = append(unassigned, idx)
 	}
+	h.unassigned = unassigned
 
-	// Desirability f_{j,i} = ep + em + M·(cpm > t_left); +Inf when the
-	// type cannot run on i (line 6 of Algorithm 1).
-	desirability := func(jobIdx, r int) float64 {
-		j := jobs[jobIdx]
-		e := j.EPM(r, p.Policy)
-		if e == task.NotExecutable {
-			return math.Inf(1)
-		}
-		if j.CPM(r, p.Policy) > j.TimeLeft(p.Time)+sched.Eps {
-			e += bigM
-		}
-		return e
-	}
-
-	isSchedulable := func(jobIdx, r int) bool {
-		j := jobs[jobIdx]
-		cand := sched.Entry{
-			ReadyAt:  math.Max(j.Arrival, p.Time),
-			Deadline: j.AbsDeadline,
-			Rem:      j.CPM(r, p.Policy),
-		}
-		trial := append(append(make([]sched.Entry, 0, len(entries[r])+1), entries[r]...), cand)
-		return sched.ResourceFeasible(p.Platform.Resource(r).Preemptable(), p.Time, trial)
-	}
-
-	// feasibleSet returns F_j: resources whose remaining capacity fits the
-	// job (line 10).
-	feasibleSet := func(jobIdx int) []int {
-		var fs []int
-		for r := 0; r < n; r++ {
-			cpm := jobs[jobIdx].CPM(r, p.Policy)
-			if cpm != task.NotExecutable && cpm <= capacity[r]+sched.Eps {
-				fs = append(fs, r)
-			}
-		}
-		return fs
+	// Seed F_j, best/second desirability and thereby the regrets. From
+	// here the caches are maintained incrementally: an assignment changes
+	// only one resource's capacity, so only that column can evict members.
+	for _, ji := range unassigned {
+		h.refresh(ji)
 	}
 
 	for len(unassigned) > 0 {
 		// Select the next job: max regret d* (lines 8-20), or first in
 		// index order for the greedy ablation.
 		pick := -1
-		var pickSet []int
 		if h.Greedy {
 			pick = 0
-			pickSet = feasibleSet(unassigned[0])
-			if len(pickSet) == 0 {
-				h.infeasible.Inc()
-				return Decision{Mapping: mapping, Feasible: false}
+			if h.feasCount[unassigned[0]] == 0 {
+				return h.fail(mapping)
 			}
 		} else {
 			dStar := math.Inf(-1)
-			for u, jobIdx := range unassigned {
-				fs := feasibleSet(jobIdx)
-				if len(fs) == 0 {
+			for u, ji := range unassigned {
+				if h.feasCount[ji] == 0 {
 					// Line 22: no solution.
-					h.infeasible.Inc()
-					return Decision{Mapping: mapping, Feasible: false}
+					return h.fail(mapping)
 				}
-				best, second := math.Inf(1), math.Inf(1)
-				for _, r := range fs {
-					f := desirability(jobIdx, r)
-					if f < best {
-						best, second = f, best
-					} else if f < second {
-						second = f
-					}
-				}
-				d := second - best // +Inf when |F_j| == 1 (line 14)
+				d := h.second[ji] - h.best[ji] // +Inf when |F_j| == 1 (line 14)
 				if d > dStar {
 					dStar = d
 					pick = u
-					pickSet = fs
 				}
 			}
 		}
@@ -191,30 +209,109 @@ func (h *Heuristic) Solve(p *sched.Problem) Decision {
 		unassigned = append(unassigned[:pick], unassigned[pick+1:]...)
 
 		// Map j* to the most desirable schedulable resource (lines 24-34).
+		base := jobIdx * n
+		ps := h.pickSet[:0]
+		for r := 0; r < n; r++ {
+			if h.feas[base+r] {
+				ps = append(ps, r)
+			}
+		}
 		placed := false
-		for len(pickSet) > 0 {
+		for len(ps) > 0 {
 			bi, bf := -1, math.Inf(1)
-			for k, r := range pickSet {
-				if f := desirability(jobIdx, r); f < bf {
+			for k, r := range ps {
+				if f := des[base+r]; f < bf {
 					bf, bi = f, k
 				}
 			}
-			r := pickSet[bi]
-			if isSchedulable(jobIdx, r) {
-				assign(jobIdx, r)
+			r := ps[bi]
+			// Trial-insert the candidate at its service position; on
+			// success the entry is already final, on failure it is backed
+			// out and the next resource tried.
+			pos := h.insertEntry(jobIdx, r)
+			if h.lists[r].Feasible(p.Platform.Resource(r).Preemptable(), p.Time, &h.edf) {
+				mapping[jobIdx] = r
+				capacity[r] -= cpm[base+r]
+				h.invalidateColumn(r, unassigned)
 				placed = true
 				break
 			}
-			pickSet = append(pickSet[:bi], pickSet[bi+1:]...)
+			h.lists[r].Remove(p.Time, pos)
+			ps = append(ps[:bi], ps[bi+1:]...)
 		}
 		if !placed {
 			// Lines 31-32: no more resources.
-			h.infeasible.Inc()
-			return Decision{Mapping: mapping, Feasible: false}
+			return h.fail(mapping)
 		}
 	}
 
-	return Decision{Mapping: mapping, Feasible: true, Energy: p.Energy(mapping)}
+	out := append([]int(nil), mapping...)
+	return Decision{Mapping: out, Feasible: true, Energy: p.Energy(out)}
+}
+
+// assign books job jobIdx onto resource r: mapping, capacity, entry list.
+// Used for the pinned pre-assignments; free jobs are booked inline by the
+// placement loop, whose trial insert already placed the entry.
+func (h *Heuristic) assign(jobIdx, r int) {
+	h.mapping[jobIdx] = r
+	h.capacity[r] -= h.cpm[jobIdx*h.n+r]
+	h.insertEntry(jobIdx, r)
+}
+
+// insertEntry places job jobIdx's feasibility entry for resource r into
+// the resource's sorted list and returns its position.
+func (h *Heuristic) insertEntry(jobIdx, r int) int {
+	j := h.p.Jobs[jobIdx]
+	return h.lists[r].Insert(h.p.Time, sched.Entry{
+		ReadyAt:     math.Max(j.Arrival, h.p.Time),
+		Deadline:    j.AbsDeadline,
+		Rem:         h.cpm[jobIdx*h.n+r],
+		PinnedFirst: j.Pinned(h.p.Platform) && j.Resource == r,
+	})
+}
+
+// refresh recomputes job ji's feasible set F_j — resources whose remaining
+// capacity fits the job (line 10) — and its cached best/second
+// desirabilities from the current capacities.
+func (h *Heuristic) refresh(ji int) {
+	base := ji * h.n
+	cnt := 0
+	b, s := math.Inf(1), math.Inf(1)
+	for r := 0; r < h.n; r++ {
+		c := h.cpm[base+r]
+		ok := c != task.NotExecutable && c <= h.capacity[r]+sched.Eps
+		h.feas[base+r] = ok
+		if !ok {
+			continue
+		}
+		cnt++
+		if f := h.des[base+r]; f < b {
+			b, s = f, b
+		} else if f < s {
+			s = f
+		}
+	}
+	h.feasCount[ji] = cnt
+	h.best[ji] = b
+	h.second[ji] = s
+}
+
+// invalidateColumn re-evaluates resource r's membership for every job in
+// unassigned after r's capacity shrank. Capacities only ever decrease, so
+// membership can only be lost; jobs whose F_j kept r are untouched and
+// their cached regrets stay valid.
+func (h *Heuristic) invalidateColumn(r int, unassigned []int) {
+	for _, ji := range unassigned {
+		if h.feas[ji*h.n+r] && h.cpm[ji*h.n+r] > h.capacity[r]+sched.Eps {
+			h.refresh(ji)
+		}
+	}
+}
+
+// fail returns the infeasible decision over a copy of the partial mapping.
+func (h *Heuristic) fail(mapping []int) Decision {
+	h.infeasible.Inc()
+	return Decision{Mapping: append([]int(nil), mapping...), Feasible: false}
 }
 
 // Admit runs the Sec 4.1 admission protocol: solve with the predicted

@@ -10,15 +10,17 @@ import (
 )
 
 // TestInsertRemoveBookkeeping fuzzes the sorted-entry maintenance the
-// branch-and-bound search depends on: after any interleaving of inserts
-// and removes the per-resource lists must stay sorted (pinned first, then
-// deadline) and the future-release counters exact.
+// branch-and-bound search depends on, through the solver's own lists and
+// with the DFS's LIFO insert/remove discipline: after any interleaving the
+// per-resource lists must satisfy the FeasibleSorted precondition with
+// exact future-release counters (sched.EntryList.Invariant). The broader
+// order-randomised property test lives with EntryList in internal/sched.
 func TestInsertRemoveBookkeeping(t *testing.T) {
 	plat := platform.Default()
+	now := 10.0
 	o := &Optimal{
-		p:       &sched.Problem{Platform: plat, Time: 10},
-		entries: make([][]sched.Entry, plat.Len()),
-		future:  make([]int, plat.Len()),
+		p:     &sched.Problem{Platform: plat, Time: now},
+		lists: make([]sched.EntryList, plat.Len()),
 	}
 	r := rng.New(77)
 	type placed struct {
@@ -30,48 +32,26 @@ func TestInsertRemoveBookkeeping(t *testing.T) {
 			// Remove in LIFO order, like the DFS does.
 			top := stack[len(stack)-1]
 			stack = stack[:len(stack)-1]
-			o.remove(top.res, top.pos)
+			o.lists[top.res].Remove(now, top.pos)
 		} else {
 			res := r.Intn(plat.Len())
 			e := sched.Entry{
-				ReadyAt:  10,
-				Deadline: 10 + r.Uniform(1, 100),
+				ReadyAt:  now,
+				Deadline: now + r.Uniform(1, 100),
 				Rem:      r.Uniform(0.5, 5),
 			}
 			if r.Float64() < 0.2 {
-				e.ReadyAt = 10 + r.Uniform(0.1, 5) // future release
+				e.ReadyAt = now + r.Uniform(0.1, 5) // future release
 			}
-			// One pinned occupant max per resource; only at the front.
-			if !plat.Resource(res).Preemptable() && len(o.entries[res]) == 0 && r.Float64() < 0.3 {
-				e.PinnedFirst = true
+			if !plat.Resource(res).Preemptable() && r.Float64() < 0.3 {
+				e.PinnedFirst = true // occasionally several: the group must stay ordered
 			}
-			pos := o.insert(res, e)
+			pos := o.lists[res].Insert(now, e)
 			stack = append(stack, placed{res, pos})
 		}
-		// Invariants.
 		for res := 0; res < plat.Len(); res++ {
-			futures := 0
-			for i, e := range o.entries[res] {
-				if e.ReadyAt > o.p.Time+sched.Eps {
-					futures++
-				}
-				if i == 0 {
-					continue
-				}
-				prev := o.entries[res][i-1]
-				if prev.PinnedFirst {
-					continue // pinned head precedes everything
-				}
-				if e.PinnedFirst {
-					t.Fatalf("step %d: pinned entry not at the front of resource %d", step, res)
-				}
-				if prev.Deadline > e.Deadline+sched.Eps {
-					t.Fatalf("step %d: resource %d order violated at %d", step, res, i)
-				}
-			}
-			if futures != o.future[res] {
-				t.Fatalf("step %d: future counter %d != actual %d on resource %d",
-					step, o.future[res], futures, res)
+			if err := o.lists[res].Invariant(now); err != nil {
+				t.Fatalf("step %d: resource %d: %v", step, res, err)
 			}
 		}
 	}

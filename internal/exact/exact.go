@@ -53,16 +53,21 @@ type Optimal struct {
 	mSolves, mTruncated, mInfeasible *telemetry.Counter
 	mNodes                           *telemetry.Histogram
 
-	// Scratch state for the current solve. entries is kept sorted per
-	// resource (pinned occupant first, then non-decreasing deadline) so
-	// feasibility is an allocation-free cumulative scan; future counts the
-	// not-yet-released (predicted) entries per resource, which need the
-	// full EDF simulation instead.
+	// seeder warms the incumbent with Algorithm 1; reusing one instance
+	// keeps its scratch arena alive across solves.
+	seeder core.Heuristic
+
+	// Scratch state for the current solve. Per-resource entry lists are
+	// kept in FeasibleSorted service order with future-release counts
+	// (sched.EntryList), so most feasibility probes are allocation-free
+	// cumulative scans; edf buffers the occasional full EDF simulation.
+	// The remaining slices are reused across solves and merely resliced.
 	p        *sched.Problem
 	order    []int // free job indices in branching order
-	entries  [][]sched.Entry
-	future   []int
+	lists    []sched.EntryList
+	edf      sched.EDFScratch
 	mapping  []int
+	free     []int
 	bestMap  []int
 	bestE    float64
 	found    bool
@@ -78,46 +83,9 @@ type Optimal struct {
 	candE [][]float64
 }
 
-// insert places e into resource res's sorted entry list and returns its
-// position for the matching remove.
-func (o *Optimal) insert(res int, e sched.Entry) int {
-	s := o.entries[res]
-	pos := 0
-	if !e.PinnedFirst {
-		lo := 0
-		if len(s) > 0 && s[0].PinnedFirst {
-			lo = 1
-		}
-		pos = lo + sort.Search(len(s)-lo, func(i int) bool {
-			return s[lo+i].Deadline > e.Deadline
-		})
-	}
-	s = append(s, sched.Entry{})
-	copy(s[pos+1:], s[pos:])
-	s[pos] = e
-	o.entries[res] = s
-	if e.ReadyAt > o.p.Time+sched.Eps {
-		o.future[res]++
-	}
-	return pos
-}
-
-// remove undoes insert.
-func (o *Optimal) remove(res, pos int) {
-	s := o.entries[res]
-	if s[pos].ReadyAt > o.p.Time+sched.Eps {
-		o.future[res]--
-	}
-	copy(s[pos:], s[pos+1:])
-	o.entries[res] = s[:len(s)-1]
-}
-
 // feasible checks resource res's current entry list.
 func (o *Optimal) feasible(res int) bool {
-	if o.future[res] == 0 {
-		return sched.FeasibleSorted(o.p.Time, o.entries[res])
-	}
-	return sched.ResourceFeasible(o.p.Platform.Resource(res).Preemptable(), o.p.Time, o.entries[res])
+	return o.lists[res].Feasible(o.p.Platform.Resource(res).Preemptable(), o.p.Time, &o.edf)
 }
 
 var _ core.Solver = (*Optimal)(nil)
@@ -146,38 +114,42 @@ func (o *Optimal) Solve(p *sched.Problem) core.Decision {
 	o.bestE = math.Inf(1)
 
 	n := p.Platform.Len()
-	o.mapping = make([]int, len(p.Jobs))
-	if o.entries == nil || len(o.entries) != n {
-		o.entries = make([][]sched.Entry, n)
-		o.future = make([]int, n)
+	m := len(p.Jobs)
+	if cap(o.mapping) < m {
+		o.mapping = make([]int, m)
+		o.free = make([]int, 0, m)
 	}
-	for i := range o.entries {
-		o.entries[i] = o.entries[i][:0]
-		o.future[i] = 0
+	o.mapping = o.mapping[:m]
+	if len(o.lists) < n {
+		o.lists = append(o.lists, make([]sched.EntryList, n-len(o.lists))...)
+	}
+	for i := 0; i < n; i++ {
+		o.lists[i].Reset()
 	}
 
 	// Pre-assign pinned jobs and collect free ones.
-	free := make([]int, 0, len(p.Jobs))
+	free := o.free[:0]
 	pinnedEnergy := 0.0
 	for idx, j := range p.Jobs {
 		if j.Fixed || j.Pinned(p.Platform) {
 			o.mapping[idx] = j.Resource
-			o.insert(j.Resource, o.entry(idx, j.Resource))
+			o.lists[j.Resource].Insert(p.Time, o.entry(idx, j.Resource))
 			pinnedEnergy += j.EPM(j.Resource, p.Policy)
 			continue
 		}
 		o.mapping[idx] = sched.Unmapped
 		free = append(free, idx)
 	}
+	o.free = free
 	// Pinned-only feasibility: if the immovable work already misses
 	// deadlines nothing can fix it (cannot happen after a sound admission
 	// history, but guard anyway).
 	for r := 0; r < n; r++ {
-		if len(o.entries[r]) > 0 && !o.feasible(r) {
+		if o.lists[r].Len() > 0 && !o.feasible(r) {
 			o.LastStats = Stats{}
 			o.mSolves.Inc()
 			o.mInfeasible.Inc()
-			return core.Decision{Mapping: o.mapping, Feasible: false}
+			return core.Decision{Mapping: append([]int(nil), o.mapping...), Feasible: false}
 		}
 	}
 
@@ -188,11 +160,11 @@ func (o *Optimal) Solve(p *sched.Problem) core.Decision {
 
 	// Seed the incumbent with the heuristic so exact is never worse and
 	// pruning starts strong.
-	h := (&core.Heuristic{}).Solve(p)
+	h := o.seeder.Solve(p)
 	if h.Feasible {
 		o.found = true
 		o.bestE = h.Energy
-		o.bestMap = append([]int(nil), h.Mapping...)
+		o.bestMap = append(o.bestMap[:0], h.Mapping...)
 	}
 
 	o.dfs(0, pinnedEnergy)
@@ -205,9 +177,9 @@ func (o *Optimal) Solve(p *sched.Problem) core.Decision {
 	}
 	if !o.found {
 		o.mInfeasible.Inc()
-		return core.Decision{Mapping: o.mapping, Feasible: false}
+		return core.Decision{Mapping: append([]int(nil), o.mapping...), Feasible: false}
 	}
-	return core.Decision{Mapping: o.bestMap, Feasible: true, Energy: o.bestE}
+	return core.Decision{Mapping: append([]int(nil), o.bestMap...), Feasible: true, Energy: o.bestE}
 }
 
 func (o *Optimal) entry(jobIdx, r int) sched.Entry {
@@ -220,9 +192,12 @@ func (o *Optimal) entry(jobIdx, r int) sched.Entry {
 	}
 }
 
+// prepareOrders computes the branching structures for the free jobs,
+// reusing the slices of earlier solves.
 func (o *Optimal) prepareOrders(free []int) {
 	p := o.p
 	n := p.Platform.Len()
+	k := len(free)
 	o.order = append(o.order[:0], free...)
 	sort.SliceStable(o.order, func(a, b int) bool {
 		ja, jb := p.Jobs[o.order[a]], p.Jobs[o.order[b]]
@@ -232,11 +207,22 @@ func (o *Optimal) prepareOrders(free []int) {
 		}
 		return ja.TimeLeft(p.Time) < jb.TimeLeft(p.Time)
 	})
-	o.minE = make([]float64, len(o.order))
-	o.resOrder = make([][]int, len(o.order))
-	for k, jobIdx := range o.order {
+	if cap(o.minE) < k {
+		o.minE = make([]float64, k)
+	}
+	if cap(o.sufMinE) < k+1 {
+		o.sufMinE = make([]float64, k+1)
+	}
+	o.minE = o.minE[:k]
+	o.sufMinE = o.sufMinE[:k+1]
+	if len(o.resOrder) < k {
+		o.resOrder = append(o.resOrder, make([][]int, k-len(o.resOrder))...)
+		o.cand = append(o.cand, make([][]sched.Entry, k-len(o.cand))...)
+		o.candE = append(o.candE, make([][]float64, k-len(o.candE))...)
+	}
+	for d, jobIdx := range o.order {
 		j := p.Jobs[jobIdx]
-		var rs []int
+		rs := o.resOrder[d][:0]
 		for r := 0; r < n; r++ {
 			cpm := j.CPM(r, p.Policy)
 			if cpm == task.NotExecutable {
@@ -252,27 +238,24 @@ func (o *Optimal) prepareOrders(free []int) {
 		sort.Slice(rs, func(a, b int) bool {
 			return j.EPM(rs[a], p.Policy) < j.EPM(rs[b], p.Policy)
 		})
-		o.resOrder[k] = rs
+		o.resOrder[d] = rs
 		if len(rs) == 0 {
-			o.minE[k] = math.Inf(1)
+			o.minE[d] = math.Inf(1)
 		} else {
-			o.minE[k] = j.EPM(rs[0], p.Policy)
+			o.minE[d] = j.EPM(rs[0], p.Policy)
 		}
-	}
-	o.cand = make([][]sched.Entry, len(o.order))
-	o.candE = make([][]float64, len(o.order))
-	for k, jobIdx := range o.order {
-		j := p.Jobs[jobIdx]
-		o.cand[k] = make([]sched.Entry, len(o.resOrder[k]))
-		o.candE[k] = make([]float64, len(o.resOrder[k]))
-		for ri, r := range o.resOrder[k] {
-			o.cand[k][ri] = o.entry(jobIdx, r)
-			o.candE[k][ri] = j.EPM(r, p.Policy)
+		cand := o.cand[d][:0]
+		candE := o.candE[d][:0]
+		for _, r := range rs {
+			cand = append(cand, o.entry(jobIdx, r))
+			candE = append(candE, j.EPM(r, p.Policy))
 		}
+		o.cand[d] = cand
+		o.candE[d] = candE
 	}
-	o.sufMinE = make([]float64, len(o.order)+1)
-	for k := len(o.order) - 1; k >= 0; k-- {
-		o.sufMinE[k] = o.sufMinE[k+1] + o.minE[k]
+	o.sufMinE[k] = 0
+	for d := k - 1; d >= 0; d-- {
+		o.sufMinE[d] = o.sufMinE[d+1] + o.minE[d]
 	}
 }
 
@@ -293,12 +276,12 @@ func (o *Optimal) dfs(depth int, energy float64) {
 	}
 	jobIdx := o.order[depth]
 	for ri, r := range o.resOrder[depth] {
-		pos := o.insert(r, o.cand[depth][ri])
+		pos := o.lists[r].Insert(o.p.Time, o.cand[depth][ri])
 		if o.feasible(r) {
 			o.mapping[jobIdx] = r
 			o.dfs(depth+1, energy+o.candE[depth][ri])
 			o.mapping[jobIdx] = sched.Unmapped
 		}
-		o.remove(r, pos)
+		o.lists[r].Remove(o.p.Time, pos)
 	}
 }

@@ -1,7 +1,5 @@
 package sched
 
-import "sort"
-
 // Eps is the absolute tolerance used in schedule arithmetic. Times in the
 // simulated system are O(1..1e4), so 1e-9 is far below any meaningful gap.
 const Eps = 1e-9
@@ -55,8 +53,7 @@ func SimulateEDF(preemptable bool, t float64, entries []Entry) (segs []Segment, 
 	}
 	feasible = true
 	now := t
-	started := make([]bool, n) // for non-preemptive run-to-completion
-	var running = Unmapped     // entry currently committed on a non-preemptable resource
+	var running = Unmapped // entry currently committed on a non-preemptable resource
 	for {
 		// Find the entry to run now.
 		pick := Unmapped
@@ -64,18 +61,28 @@ func SimulateEDF(preemptable bool, t float64, entries []Entry) (segs []Segment, 
 			pick = running
 		} else {
 			running = Unmapped
+			pinnedPick := Unmapped
 			for i := range entries {
 				if rem[i] <= Eps || entries[i].ReadyAt > now+Eps {
 					continue
 				}
 				if !preemptable && entries[i].PinnedFirst {
-					// The mid-execution occupant goes first, always.
-					pick = i
-					break
+					// A mid-execution occupant goes before everything else;
+					// among several (an impossible state for a real
+					// simulation, but solvers accept arbitrary Problems)
+					// the earliest deadline is served first, so dispatch
+					// does not depend on entry order.
+					if pinnedPick == Unmapped || entries[i].Deadline < entries[pinnedPick].Deadline-Eps {
+						pinnedPick = i
+					}
+					continue
 				}
 				if pick == Unmapped || entries[i].Deadline < entries[pick].Deadline-Eps {
 					pick = i
 				}
+			}
+			if pinnedPick != Unmapped {
+				pick = pinnedPick
 			}
 		}
 		if pick == Unmapped {
@@ -105,7 +112,6 @@ func SimulateEDF(preemptable bool, t float64, entries []Entry) (segs []Segment, 
 				}
 			}
 		} else {
-			started[pick] = true
 			running = pick
 		}
 		ran := until - now
@@ -131,7 +137,16 @@ func SimulateEDF(preemptable bool, t float64, entries []Entry) (segs []Segment, 
 // ResourceFeasible reports whether entries are EDF-schedulable on a single
 // resource from time t. It is SimulateEDF without schedule construction,
 // plus cheap necessary-condition cuts, and is the hot path of every RM.
+// Callers in a solver loop should prefer ResourceFeasibleScratch with a
+// reused EDFScratch to avoid the per-call buffer allocations.
 func ResourceFeasible(preemptable bool, t float64, entries []Entry) bool {
+	return ResourceFeasibleScratch(preemptable, t, entries, nil)
+}
+
+// ResourceFeasibleScratch is ResourceFeasible with caller-provided scratch
+// buffers; with a reused non-nil scratch the check performs no allocations
+// in steady state. A nil scratch falls back to per-call buffers.
+func ResourceFeasibleScratch(preemptable bool, t float64, entries []Entry, s *EDFScratch) bool {
 	// Necessary condition: each entry alone must fit its window.
 	for _, e := range entries {
 		if e.Rem > e.Deadline-maxf(e.ReadyAt, t)+Eps {
@@ -140,6 +155,10 @@ func ResourceFeasible(preemptable bool, t float64, entries []Entry) bool {
 	}
 	if len(entries) <= 1 {
 		return true
+	}
+	var local EDFScratch
+	if s == nil {
+		s = &local
 	}
 	// Fast path: all ready now, no pinned entry ordering concerns beyond
 	// EDF — cumulative EDF check without simulation.
@@ -151,34 +170,32 @@ func ResourceFeasible(preemptable bool, t float64, entries []Entry) bool {
 		}
 	}
 	if simple {
-		return allReadyFeasible(preemptable, t, entries)
+		return allReadyFeasible(preemptable, t, entries, s)
 	}
-	_, ok := SimulateEDF(preemptable, t, entries)
-	return ok
+	return feasibleEDF(preemptable, t, entries, s)
 }
 
 // allReadyFeasible checks EDF feasibility when every entry is ready at t.
 // With synchronous release, preemptive and non-preemptive EDF coincide and
 // feasibility is the cumulative-demand check over the deadline order — with
 // the exception that a pinned entry is served first on non-preemptable
-// resources.
-func allReadyFeasible(preemptable bool, t float64, entries []Entry) bool {
-	order := make([]int, len(entries))
-	for i := range order {
-		order[i] = i
+// resources. The service order is built in the scratch's index buffer with
+// an insertion sort: entry counts per resource are small, and the stable
+// in-place sort keeps the check allocation-free.
+func allReadyFeasible(preemptable bool, t float64, entries []Entry, s *EDFScratch) bool {
+	order := s.order[:0]
+	if cap(order) < len(entries) {
+		order = make([]int, 0, len(entries))
 	}
-	sort.Slice(order, func(a, b int) bool {
-		ea, eb := entries[order[a]], entries[order[b]]
-		if !preemptable {
-			if ea.PinnedFirst != eb.PinnedFirst {
-				return ea.PinnedFirst
-			}
+	for i := range entries {
+		order = append(order, i)
+	}
+	s.order = order
+	for i := 1; i < len(order); i++ {
+		for k := i; k > 0 && entryBefore(preemptable, &entries[order[k]], &entries[order[k-1]]); k-- {
+			order[k], order[k-1] = order[k-1], order[k]
 		}
-		if ea.Deadline != eb.Deadline {
-			return ea.Deadline < eb.Deadline
-		}
-		return order[a] < order[b]
-	})
+	}
 	finish := t
 	for _, idx := range order {
 		finish += entries[idx].Rem
@@ -189,12 +206,109 @@ func allReadyFeasible(preemptable bool, t float64, entries []Entry) bool {
 	return true
 }
 
+// entryBefore is the strict service order of allReadyFeasible: the pinned
+// occupant of a non-preemptable resource first, then ascending deadline.
+// Equal keys keep input order via the stable insertion sort.
+func entryBefore(preemptable bool, a, b *Entry) bool {
+	if !preemptable && a.PinnedFirst != b.PinnedFirst {
+		return a.PinnedFirst
+	}
+	return a.Deadline < b.Deadline
+}
+
+// feasibleEDF is SimulateEDF without schedule construction: it reports
+// deadline feasibility only, returning at the first miss, and takes its
+// remaining-work buffer from the scratch. The dispatch rules are identical
+// to SimulateEDF's.
+func feasibleEDF(preemptable bool, t float64, entries []Entry, s *EDFScratch) bool {
+	n := len(entries)
+	rem := s.rem
+	if cap(rem) < n {
+		rem = make([]float64, n)
+	}
+	rem = rem[:n]
+	s.rem = rem
+	for i, e := range entries {
+		rem[i] = e.Rem
+	}
+	now := t
+	var running = Unmapped // entry currently committed on a non-preemptable resource
+	for {
+		pick := Unmapped
+		if !preemptable && running != Unmapped && rem[running] > Eps {
+			pick = running
+		} else {
+			running = Unmapped
+			pinnedPick := Unmapped
+			for i := range entries {
+				if rem[i] <= Eps || entries[i].ReadyAt > now+Eps {
+					continue
+				}
+				if !preemptable && entries[i].PinnedFirst {
+					// Earliest-deadline pinned occupant first (see
+					// SimulateEDF): dispatch independent of entry order.
+					if pinnedPick == Unmapped || entries[i].Deadline < entries[pinnedPick].Deadline-Eps {
+						pinnedPick = i
+					}
+					continue
+				}
+				if pick == Unmapped || entries[i].Deadline < entries[pick].Deadline-Eps {
+					pick = i
+				}
+			}
+			if pinnedPick != Unmapped {
+				pick = pinnedPick
+			}
+		}
+		if pick == Unmapped {
+			// Idle: jump to the next release, or finish.
+			next := 0.0
+			found := false
+			for i := range entries {
+				if rem[i] > Eps && (!found || entries[i].ReadyAt < next) {
+					next = entries[i].ReadyAt
+					found = true
+				}
+			}
+			if !found {
+				return true
+			}
+			now = next
+			continue
+		}
+		until := now + rem[pick]
+		if preemptable {
+			// Break at the next future release so a newly ready entry can
+			// preempt.
+			for i := range entries {
+				if rem[i] > Eps && entries[i].ReadyAt > now+Eps && entries[i].ReadyAt < until {
+					until = entries[i].ReadyAt
+				}
+			}
+		} else {
+			running = pick
+		}
+		rem[pick] -= until - now
+		now = until
+		if rem[pick] <= Eps {
+			rem[pick] = 0
+			if !preemptable {
+				running = Unmapped
+			}
+			if now > entries[pick].Deadline+Eps {
+				return false
+			}
+		}
+	}
+}
+
 // FeasibleSorted checks EDF feasibility of entries that are all ready at t
-// and already ordered for service — a pinned occupant first, then
-// non-decreasing deadline. With synchronous release the cumulative-demand
-// scan is exact for both preemptive and non-preemptive resources; it is
-// the allocation-free hot path of the branch-and-bound solver, which keeps
-// its per-resource entry lists sorted incrementally.
+// and already ordered for service — pinned occupants first (by deadline
+// among themselves), then non-decreasing deadline, i.e. the order
+// EntryList maintains. With synchronous release the cumulative-demand scan
+// is exact for both preemptive and non-preemptive resources; it is the
+// allocation-free hot path of the mapping solvers, which keep their
+// per-resource entry lists sorted incrementally.
 func FeasibleSorted(t float64, entries []Entry) bool {
 	finish := t
 	for i := range entries {

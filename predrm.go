@@ -118,10 +118,13 @@ func NewJob(id int, ty *TaskType, arrival, relDeadline float64) *Job {
 	return sched.NewJob(id, ty, arrival, relDeadline)
 }
 
-// NewHeuristic returns the paper's Algorithm 1 solver.
+// NewHeuristic returns the paper's Algorithm 1 solver. The solver reuses
+// an internal scratch arena across Solve calls and is not safe for
+// concurrent use; give each goroutine its own instance.
 func NewHeuristic() *Heuristic { return &core.Heuristic{} }
 
-// NewOptimal returns the exact reference solver.
+// NewOptimal returns the exact reference solver. Like the heuristic it
+// keeps per-solve scratch state and is not safe for concurrent use.
 func NewOptimal() *Optimal { return &exact.Optimal{} }
 
 // Admit runs the Sec 4.1 admission protocol (solve with the predicted job,
