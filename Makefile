@@ -1,12 +1,13 @@
 GO ?= go
 
-.PHONY: check build test vet race bench benchcheck tracecheck
+.PHONY: check build test vet race bench benchcheck tracecheck faultcheck
 
 # check is the repo gate: vet, build everything, run the full test suite
 # under the race detector (the telemetry layer is concurrency-safe by
-# contract), audit the golden trace with the replay checker, and gate the
-# hot-path benchmarks against the committed baseline (skip: BENCHCHECK=0).
-check: vet build race tracecheck benchcheck
+# contract), audit the golden trace with the replay checker, gate the
+# hot-path benchmarks against the committed baseline (skip: BENCHCHECK=0),
+# and smoke the fault-injection resilience path (skip: FAULTCHECK=0).
+check: vet build race tracecheck benchcheck faultcheck
 
 build:
 	$(GO) build ./...
@@ -42,3 +43,16 @@ benchcheck:
 # recorded run must satisfy every resource-manager invariant.
 tracecheck:
 	$(GO) run ./cmd/tracetool check internal/sim/testdata/events.golden.jsonl
+
+# faultcheck smokes the resilience layer under the race detector: the
+# fault-sweep ablation (graceful degradation, zero deadline misses), the
+# deterministic fault plan, and the end-to-end trace audit of a faulted
+# run. Set FAULTCHECK=0 to skip.
+FAULTCHECK ?= 1
+faultcheck:
+	@if [ "$(FAULTCHECK)" = "0" ]; then \
+		echo "faultcheck: skipped (FAULTCHECK=0)"; \
+	else \
+		$(GO) test -race -run 'FaultSweepSmoke|RunGridPromptErrorPropagation|SimDeterminism|EndToEndTraceAudits' \
+			./internal/experiments/ ./internal/faultinject/; \
+	fi

@@ -10,7 +10,7 @@
 // Experiment ids: motivational, milp-vs-heuristic, fig2a, fig2b, fig3a,
 // fig3b, fig4a, fig4b, fig5, ablation-regret, ablation-migration,
 // online-predictors, lookahead, baseline-static, load-surface, telemetry,
-// all.
+// fault-sweep, all.
 //
 // Observability: -metrics-out writes the merged telemetry snapshot of the
 // experiments that collect one (currently "telemetry") as JSON, -trace-out
@@ -76,6 +76,7 @@ func main() {
 			"fig4a", "fig4b", "fig5",
 			"ablation-regret", "ablation-migration", "online-predictors",
 			"lookahead", "baseline-static", "load-surface", "telemetry",
+			"fault-sweep",
 		}
 	}
 	var traceFile *os.File
@@ -262,6 +263,16 @@ func run(id string, cfg experiments.Config) ([]*experiments.Table, *telemetry.Sn
 			return nil, nil, err
 		}
 		return []*experiments.Table{r.Table}, nil, nil
+	case "fault-sweep":
+		r, err := experiments.FaultSweep(cfg, []float64{0, 0.1, 0.25, 0.5})
+		if err != nil {
+			return nil, nil, err
+		}
+		var snaps []*telemetry.Snapshot
+		for _, s := range r.PerRate {
+			snaps = append(snaps, s)
+		}
+		return []*experiments.Table{r.Table}, telemetry.Merge(snaps...), nil
 	default:
 		return nil, nil, fmt.Errorf("unknown experiment id %q", id)
 	}

@@ -25,9 +25,12 @@ import (
 	"os"
 	"runtime"
 	"runtime/pprof"
+	"strconv"
+	"time"
 
 	"predrm/internal/core"
 	"predrm/internal/exact"
+	"predrm/internal/faultinject"
 	"predrm/internal/gantt"
 	"predrm/internal/platform"
 	"predrm/internal/predict"
@@ -55,6 +58,9 @@ func main() {
 		workCons  = flag.Bool("work-conserving", false, "ignore predicted-task reservations between activations")
 		verbose   = flag.Bool("v", false, "print per-request outcomes")
 		showGantt = flag.Int("gantt", 0, "render the first N time units of the executed schedule")
+
+		solverBudget = flag.String("solver-budget", "", "per-activation solver budget: a node count (e.g. 20000) or a wall duration (e.g. 5ms); enables the budgeted fallback chain")
+		faultPlan    = flag.String("fault-plan", "", "deterministic fault plan, e.g. seed=7,solver-error=0.2,latency-rate=0.1,latency=0.5 (see internal/faultinject); enables the fallback chain")
 
 		traceOut   = flag.String("trace-out", "", "write the structured event stream as JSONL to this file")
 		metricsOut = flag.String("metrics-out", "", "write the metrics snapshot as JSON to this file")
@@ -152,8 +158,38 @@ func main() {
 		tracer = telemetry.NewTracer(telemetry.TracerOptions{Sink: traceFile})
 		cfg.Tracer = tracer
 	}
-	if *metricsOut != "" {
+	resilient := *solverBudget != "" || *faultPlan != ""
+	if *metricsOut != "" || resilient {
+		// The resilience chain always collects metrics so the degraded-mode
+		// summary below can report what actually happened.
 		cfg.Metrics = telemetry.NewRegistry()
+	}
+	if resilient {
+		budget, err := parseBudget(*solverBudget)
+		if err != nil {
+			fatalf("solver-budget: %v", err)
+		}
+		primary := cfg.Solver
+		if *faultPlan != "" {
+			plan, err := faultinject.ParsePlan(*faultPlan)
+			if err != nil {
+				fatalf("fault-plan: %v", err)
+			}
+			p := &plan
+			primary = p.Solver(primary, tracer)
+			cfg.OverheadHook = p.Hook(tracer, cfg.Metrics)
+			if cfg.Predictor != nil {
+				cfg.Predictor = p.Predictor(cfg.Predictor, tracer, cfg.Metrics)
+			}
+		}
+		cfg.Solver = &core.BudgetedSolver{
+			Stages: []core.Stage{
+				{Name: *engine, Solver: primary},
+				{Name: "heuristic", Solver: &core.Heuristic{}},
+			},
+			Budget: budget,
+			Tracer: tracer,
+		}
 	}
 	if *cpuProfile != "" {
 		f, err := os.Create(*cpuProfile)
@@ -231,6 +267,18 @@ func main() {
 		fmt.Printf("solver latency:   p50 %.1f µs, p95 %.1f µs, max %.1f µs (%d activations)\n",
 			lat.Quantile(0.50)*1e6, lat.Quantile(0.95)*1e6, lat.Max*1e6, lat.Count)
 	}
+	if resilient && res.Telemetry != nil {
+		c := res.Telemetry.Counters
+		fmt.Printf("resilience:       %d fallbacks (%d stage errors, %d budget exhaustions), %d reject-only\n",
+			c["resilience.fallbacks"], c["resilience.stage_errors"],
+			c["resilience.budget_exhausted"], c["resilience.reject_only"])
+		if n := c["faultinject.solver_errors"] + c["faultinject.latency_spikes"] +
+			c["faultinject.predictor_outages"] + c["faultinject.predictor_corruptions"]; n > 0 {
+			fmt.Printf("faults injected:  %d (%d solver, %d latency, %d outage, %d corrupt)\n", n,
+				c["faultinject.solver_errors"], c["faultinject.latency_spikes"],
+				c["faultinject.predictor_outages"], c["faultinject.predictor_corruptions"])
+		}
+	}
 	if *showGantt > 0 {
 		opening := gantt.Clip(res.Execution, 0, float64(*showGantt))
 		if chart, err := gantt.New(plat, opening); err == nil {
@@ -278,6 +326,29 @@ func validateFlags(usePred bool, accuracy, timeErr, overhead float64, length, ty
 	default:
 		fatalf("unknown deadline group %q (want VT or LT)", group)
 	}
+}
+
+// parseBudget reads the -solver-budget syntax: an integer is a node
+// budget, a Go duration (5ms, 1s) a wall-clock budget. Empty means no
+// bound (the chain still absorbs errors).
+func parseBudget(s string) (core.Budget, error) {
+	if s == "" {
+		return core.Budget{}, nil
+	}
+	if n, err := strconv.Atoi(s); err == nil {
+		if n <= 0 {
+			return core.Budget{}, fmt.Errorf("node budget %d must be positive", n)
+		}
+		return core.Budget{Nodes: n}, nil
+	}
+	d, err := time.ParseDuration(s)
+	if err != nil {
+		return core.Budget{}, fmt.Errorf("%q is neither a node count nor a duration", s)
+	}
+	if d <= 0 {
+		return core.Budget{}, fmt.Errorf("wall budget %v must be positive", d)
+	}
+	return core.Budget{Wall: d}, nil
 }
 
 // flagWasSet reports whether the named flag was given explicitly on the

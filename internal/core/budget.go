@@ -1,0 +1,263 @@
+// Resilience layer: budgeted solving with a degradation chain.
+//
+// The paper requires the RM to decide at every arrival within a bounded
+// overhead (Sec 5.5), but the exact reference solver has unbounded
+// worst-case latency, and a production RM must also survive solver
+// failures. BudgetedSolver makes degraded operation first-class: it gives
+// any Solver a per-activation budget and, when a stage exhausts its budget
+// without a usable answer, errors, or panics, falls through a configurable
+// chain of progressively cheaper solvers. The terminal behaviour is always
+// reject-only — refusing the arriving request is sound under the admission
+// protocol (the standing mappings are untouched), so the chain degrades
+// admission quality but never the deadline invariant.
+
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"predrm/internal/sched"
+	"predrm/internal/telemetry"
+)
+
+// Budget bounds one solver activation. The zero value means unlimited.
+type Budget struct {
+	// Nodes caps the search nodes a BudgetAware solver may expand.
+	Nodes int
+	// Wall caps the wall-clock time of one Solve. Wall budgets make
+	// decisions timing-dependent and therefore nondeterministic across
+	// runs; prefer Nodes wherever reproducibility matters.
+	Wall time.Duration
+}
+
+// IsZero reports whether the budget imposes no bound.
+func (b Budget) IsZero() bool { return b.Nodes <= 0 && b.Wall <= 0 }
+
+// BudgetUse reports what a budgeted solve consumed.
+type BudgetUse struct {
+	// Nodes is the number of search nodes expanded.
+	Nodes int
+	// Exhausted reports that the budget ran out before the search space
+	// was exhausted; the decision is then the best anytime incumbent.
+	Exhausted bool
+}
+
+// BudgetAware is implemented by solvers whose search can be bounded per
+// activation (exact.Optimal). ApplyBudget is called before each Solve
+// attempt; BudgetUsed reports on the most recent one.
+type BudgetAware interface {
+	Solver
+	ApplyBudget(Budget)
+	BudgetUsed() BudgetUse
+}
+
+// FallibleSolver is implemented by solvers that can fail outright —
+// injected faults (internal/faultinject), backend outages — instead of
+// merely returning an infeasible decision. AdmitChecked and BudgetedSolver
+// prefer SolveChecked when available; plain Solve must map failures to an
+// infeasible decision.
+type FallibleSolver interface {
+	Solver
+	SolveChecked(p *sched.Problem) (Decision, error)
+}
+
+// RejectOnly is the terminal degradation mode: it refuses every problem,
+// so the admission protocol rejects the arriving request and keeps the
+// standing mappings untouched. Useful as an explicit chain stage and as
+// the ablation floor ("what if the RM could only say no").
+type RejectOnly struct{}
+
+var _ Solver = RejectOnly{}
+
+// Solve returns the all-unmapped infeasible decision.
+func (RejectOnly) Solve(p *sched.Problem) Decision { return rejectAll(p) }
+
+// rejectAll builds the infeasible decision leaving every job unmapped.
+func rejectAll(p *sched.Problem) Decision {
+	mapping := make([]int, len(p.Jobs))
+	for i := range mapping {
+		mapping[i] = sched.Unmapped
+	}
+	return Decision{Mapping: mapping, Feasible: false}
+}
+
+// Stage is one solver in a BudgetedSolver chain.
+type Stage struct {
+	// Name labels the stage in telemetry and trace events.
+	Name string
+	// Solver answers the problems this stage is asked.
+	Solver Solver
+}
+
+// BudgetedSolver wraps a chain of solvers with a per-activation budget and
+// falls through the chain on failure: a stage that errors (or panics), or
+// that exhausts its budget without producing a feasible decision, hands
+// the problem to the next stage. A stage that exhausts its budget but
+// still holds a feasible anytime incumbent (exact.Optimal seeds its search
+// with Algorithm 1, so truncation never loses feasibility) is used as-is
+// and only accounted as a budget exhaustion. When every stage fails the
+// solver degrades to reject-only, which is always sound.
+//
+// BudgetedSolver itself never errors and never panics; it is the outermost
+// solver a simulation should see when faults may occur. Like the solvers
+// it wraps it is not safe for concurrent use.
+type BudgetedSolver struct {
+	// Stages are tried in order. An empty chain is pure reject-only.
+	Stages []Stage
+	// Budget is applied to every BudgetAware stage before its attempt.
+	Budget Budget
+	// Tracer, when non-nil, receives a solver_fallback event for every
+	// chain transition, timestamped with the problem's simulated time.
+	Tracer *telemetry.Tracer
+
+	// Telemetry instruments (nil-safe no-ops until AttachMetrics).
+	mFallbacks, mRejectOnly *telemetry.Counter
+	mExhausted, mErrors     *telemetry.Counter
+	hDepth, hNodes          *telemetry.Histogram
+}
+
+var _ Solver = (*BudgetedSolver)(nil)
+var _ telemetry.Instrumentable = (*BudgetedSolver)(nil)
+
+// AttachMetrics registers the chain's degraded-mode instruments on reg —
+// counters resilience.fallbacks, resilience.reject_only,
+// resilience.budget_exhausted and resilience.stage_errors, histogram
+// resilience.fallback_depth (stage index serving each activation) and
+// resilience.budget_nodes (nodes consumed per budgeted solve) — and
+// forwards the registry to every stage solver that is Instrumentable.
+func (b *BudgetedSolver) AttachMetrics(reg *telemetry.Registry) {
+	b.mFallbacks = reg.Counter("resilience.fallbacks")
+	b.mRejectOnly = reg.Counter("resilience.reject_only")
+	b.mExhausted = reg.Counter("resilience.budget_exhausted")
+	b.mErrors = reg.Counter("resilience.stage_errors")
+	b.hDepth = reg.Histogram("resilience.fallback_depth", telemetry.CountBuckets)
+	b.hNodes = reg.Histogram("resilience.budget_nodes", telemetry.NodeBuckets)
+	for _, st := range b.Stages {
+		if inst, ok := st.Solver.(telemetry.Instrumentable); ok {
+			inst.AttachMetrics(reg)
+		}
+	}
+}
+
+// Solve runs the chain on p. It never fails: the worst outcome is the
+// reject-only decision.
+func (b *BudgetedSolver) Solve(p *sched.Problem) Decision {
+	for si, st := range b.Stages {
+		ba, bounded := st.Solver.(BudgetAware)
+		if bounded {
+			ba.ApplyBudget(b.Budget)
+		}
+		d, err := attempt(st.Solver, p)
+		var use BudgetUse
+		if bounded {
+			use = ba.BudgetUsed()
+			b.hNodes.Observe(float64(use.Nodes))
+			if use.Exhausted {
+				b.mExhausted.Inc()
+			}
+		}
+		switch {
+		case err != nil:
+			b.mErrors.Inc()
+			b.fellThrough(p, si+1, "error")
+			continue
+		case use.Exhausted && !d.Feasible:
+			// The budget ran out before any incumbent was found; a deeper
+			// (cheaper, bounded) stage may still admit.
+			b.fellThrough(p, si+1, "budget")
+			continue
+		}
+		b.hDepth.Observe(float64(si))
+		return d
+	}
+	// The whole chain failed: degrade to reject-only.
+	b.mRejectOnly.Inc()
+	b.hDepth.Observe(float64(len(b.Stages)))
+	b.emit(p, len(b.Stages), "reject_only")
+	return rejectAll(p)
+}
+
+// fellThrough accounts one chain transition to stage `to`.
+func (b *BudgetedSolver) fellThrough(p *sched.Problem, to int, reason string) {
+	b.mFallbacks.Inc()
+	if to < len(b.Stages) {
+		b.emit(p, to, reason)
+	}
+	// The terminal transition is emitted by Solve as reject_only.
+}
+
+// emit reports a solver_fallback trace event. Value is the stage index
+// fallen to (len(Stages) = reject-only).
+func (b *BudgetedSolver) emit(p *sched.Problem, to int, reason string) {
+	if b.Tracer == nil {
+		return
+	}
+	e := telemetry.NewEvent(p.Time, telemetry.EvSolverFallback)
+	e.Req = arrivingID(p)
+	e.Value = float64(to)
+	e.Reason = reason
+	b.Tracer.Emit(e)
+}
+
+// attempt runs one stage, converting errors and panics into a Go error so
+// the chain can absorb them.
+func attempt(s Solver, p *sched.Problem) (d Decision, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("core: solver panicked: %v", r)
+		}
+	}()
+	if fs, ok := s.(FallibleSolver); ok {
+		return fs.SolveChecked(p)
+	}
+	return s.Solve(p), nil
+}
+
+// arrivingID returns the trace id of the arriving request in p — the
+// largest job id, since active jobs are earlier requests and predicted or
+// critical planning copies carry negative ids — or -1 when the problem
+// holds none (solver invoked outside the admission protocol).
+func arrivingID(p *sched.Problem) int {
+	id := -1
+	for _, j := range p.Jobs {
+		if j.ID > id {
+			id = j.ID
+		}
+	}
+	return id
+}
+
+// AdmitChecked is the Sec 4.1 admission protocol for solvers that can fail
+// (FallibleSolver): any Solve failure aborts the protocol and is returned
+// to the caller, with no decision taken. Wrap fallible solvers in a
+// BudgetedSolver to absorb failures into graceful degradation instead.
+// For plain solvers it behaves exactly like Admit.
+func AdmitChecked(s Solver, p *sched.Problem) (d Decision, admitted bool, err error) {
+	fs, fallible := s.(FallibleSolver)
+	cur := p
+	for {
+		if fallible {
+			d, err = fs.SolveChecked(cur)
+			if err != nil {
+				return Decision{}, false, err
+			}
+		} else {
+			d = s.Solve(cur)
+		}
+		if d.Feasible {
+			return inflate(p, cur, d), true, nil
+		}
+		// Drop the latest-arriving predicted job, if any remain.
+		drop := -1
+		for i, j := range cur.Jobs {
+			if j.Predicted && (drop == -1 || j.Arrival > cur.Jobs[drop].Arrival) {
+				drop = i
+			}
+		}
+		if drop == -1 {
+			return rejectAll(p), false, nil
+		}
+		cur = cur.Without(drop)
+	}
+}

@@ -322,29 +322,15 @@ func (h *Heuristic) fail(mapping []int) Decision {
 // (dropped predicted jobs map to sched.Unmapped); admitted reports whether
 // the arriving task is accepted. With the paper's single-step prediction
 // this reduces exactly to Sec 4.1's with/without fallback.
+//
+// A FallibleSolver failure is mapped to a rejection; callers that need
+// the cause (the simulator) use AdmitChecked instead.
 func Admit(s Solver, p *sched.Problem) (d Decision, admitted bool) {
-	cur := p
-	for {
-		d = s.Solve(cur)
-		if d.Feasible {
-			return inflate(p, cur, d), true
-		}
-		// Drop the latest-arriving predicted job, if any remain.
-		drop := -1
-		for i, j := range cur.Jobs {
-			if j.Predicted && (drop == -1 || j.Arrival > cur.Jobs[drop].Arrival) {
-				drop = i
-			}
-		}
-		if drop == -1 {
-			mapping := make([]int, len(p.Jobs))
-			for i := range mapping {
-				mapping[i] = sched.Unmapped
-			}
-			return Decision{Mapping: mapping, Feasible: false}, false
-		}
-		cur = cur.Without(drop)
+	d, admitted, err := AdmitChecked(s, p)
+	if err != nil {
+		return rejectAll(p), false
 	}
+	return d, admitted
 }
 
 // inflate lifts a sub-problem decision back onto the original problem's

@@ -1,0 +1,71 @@
+package exact
+
+import (
+	"testing"
+	"time"
+
+	"predrm/internal/core"
+	"predrm/internal/platform"
+	"predrm/internal/rng"
+	"predrm/internal/task"
+)
+
+func TestOptimalBudgetAware(t *testing.T) {
+	plat := platform.Default()
+	set, err := task.Generate(plat, task.DefaultGenConfig(), rng.New(9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rng.New(31)
+	h := &core.Heuristic{}
+	var o core.BudgetAware = &Optimal{}
+
+	// A one-node budget forces immediate truncation, but the anytime
+	// incumbent (the heuristic seed) must survive the cut.
+	o.ApplyBudget(core.Budget{Nodes: 1})
+	for trial := 0; trial < 30; trial++ {
+		p := randomSmallProblem(r, plat, set)
+		hd := h.Solve(p)
+		od := o.Solve(p)
+		if hd.Feasible && (!od.Feasible || od.Energy > hd.Energy+1e-9) {
+			t.Fatalf("trial %d: budgeted result worse than seed", trial)
+		}
+		use := o.BudgetUsed()
+		if use.Nodes > 1 {
+			t.Fatalf("trial %d: expanded %d nodes under a 1-node budget", trial, use.Nodes)
+		}
+		if use.Nodes == 1 && !use.Exhausted {
+			t.Fatalf("trial %d: budget consumed but not reported exhausted", trial)
+		}
+	}
+
+	// Clearing the budget restores the default limit: a small problem
+	// should then complete without truncation.
+	o.ApplyBudget(core.Budget{})
+	p := randomSmallProblem(r, plat, set)
+	o.Solve(p)
+	if o.BudgetUsed().Exhausted {
+		t.Fatal("unbudgeted small solve reported exhaustion")
+	}
+}
+
+func TestOptimalWallBudget(t *testing.T) {
+	plat := platform.Default()
+	set, err := task.Generate(plat, task.DefaultGenConfig(), rng.New(9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rng.New(47)
+	h := &core.Heuristic{}
+	o := &Optimal{}
+	// A generous wall budget on tiny problems must not perturb results.
+	o.ApplyBudget(core.Budget{Wall: time.Minute})
+	for trial := 0; trial < 10; trial++ {
+		p := randomSmallProblem(r, plat, set)
+		hd := h.Solve(p)
+		od := o.Solve(p)
+		if hd.Feasible && (!od.Feasible || od.Energy > hd.Energy+1e-9) {
+			t.Fatalf("trial %d: wall-budgeted result worse than seed", trial)
+		}
+	}
+}

@@ -19,6 +19,7 @@ package exact
 import (
 	"math"
 	"sort"
+	"time"
 
 	"predrm/internal/core"
 	"predrm/internal/sched"
@@ -48,6 +49,13 @@ type Optimal struct {
 	NodeLimit int
 	// LastStats describes the most recent Solve call.
 	LastStats Stats
+
+	// budget is the per-activation bound installed by ApplyBudget
+	// (core.BudgetAware); its node count tightens NodeLimit, its wall
+	// limit is checked every wallCheckMask+1 nodes during the search.
+	budget    core.Budget
+	wallStart time.Time
+	wallHit   bool
 
 	// Telemetry instruments (nil-safe no-ops until AttachMetrics).
 	mSolves, mTruncated, mInfeasible *telemetry.Counter
@@ -89,7 +97,26 @@ func (o *Optimal) feasible(res int) bool {
 }
 
 var _ core.Solver = (*Optimal)(nil)
+var _ core.BudgetAware = (*Optimal)(nil)
 var _ telemetry.Instrumentable = (*Optimal)(nil)
+
+// wallCheckMask throttles wall-clock budget checks to every 512 nodes: a
+// time.Now call per node would dominate the ~100ns node expansion.
+const wallCheckMask = 511
+
+// ApplyBudget installs the per-activation budget for subsequent Solves
+// (core.BudgetAware). A node budget tightens NodeLimit; a wall budget
+// deadline is polled during the search, which makes results
+// timing-dependent — prefer node budgets for reproducible runs.
+func (o *Optimal) ApplyBudget(b core.Budget) { o.budget = b }
+
+// BudgetUsed reports the most recent Solve's consumption
+// (core.BudgetAware). Exhausted mirrors LastStats.Truncated: the search
+// was cut short, so the result is the anytime incumbent — still never
+// worse than the heuristic seed when one exists.
+func (o *Optimal) BudgetUsed() core.BudgetUse {
+	return core.BudgetUse{Nodes: o.LastStats.Nodes, Exhausted: o.LastStats.Truncated}
+}
 
 // AttachMetrics registers the solver's instruments on reg: counters
 // exact.solves, exact.truncated, and exact.infeasible, plus the histogram
@@ -108,6 +135,13 @@ func (o *Optimal) Solve(p *sched.Problem) core.Decision {
 	o.limit = o.NodeLimit
 	if o.limit <= 0 {
 		o.limit = DefaultNodeLimit
+	}
+	if o.budget.Nodes > 0 && o.budget.Nodes < o.limit {
+		o.limit = o.budget.Nodes
+	}
+	o.wallHit = false
+	if o.budget.Wall > 0 {
+		o.wallStart = time.Now()
 	}
 	o.nodes = 0
 	o.found = false
@@ -169,7 +203,7 @@ func (o *Optimal) Solve(p *sched.Problem) core.Decision {
 
 	o.dfs(0, pinnedEnergy)
 
-	o.LastStats = Stats{Nodes: o.nodes, Truncated: o.nodes >= o.limit}
+	o.LastStats = Stats{Nodes: o.nodes, Truncated: o.nodes >= o.limit || o.wallHit}
 	o.mSolves.Inc()
 	o.mNodes.Observe(float64(o.nodes))
 	if o.LastStats.Truncated {
@@ -260,10 +294,14 @@ func (o *Optimal) prepareOrders(free []int) {
 }
 
 func (o *Optimal) dfs(depth int, energy float64) {
-	if o.nodes >= o.limit {
+	if o.nodes >= o.limit || o.wallHit {
 		return
 	}
 	o.nodes++
+	if o.budget.Wall > 0 && o.nodes&wallCheckMask == 0 && time.Since(o.wallStart) > o.budget.Wall {
+		o.wallHit = true
+		return
+	}
 	// Bound: even the cheapest completion cannot beat the incumbent.
 	if energy+o.sufMinE[depth] >= o.bestE-sched.Eps {
 		return

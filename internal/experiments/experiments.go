@@ -14,6 +14,7 @@ import (
 
 	"predrm/internal/core"
 	"predrm/internal/exact"
+	"predrm/internal/faultinject"
 	"predrm/internal/platform"
 	"predrm/internal/predict"
 	"predrm/internal/rng"
@@ -76,9 +77,10 @@ type Config struct {
 	// Workers bounds concurrent trace simulations (0 = GOMAXPROCS).
 	Workers int
 	// Tracer, when non-nil, streams structured events from every
-	// telemetry-collecting simulation. Setting it forces Workers to 1 so
-	// the JSONL stream stays a coherent single-run sequence instead of an
-	// interleaving of concurrent traces.
+	// telemetry-collecting simulation. Tracer-attached cells run on a
+	// dedicated serial lane so the JSONL stream stays a coherent sequence
+	// of whole runs instead of an interleaving of concurrent traces; all
+	// other cells keep running in parallel.
 	Tracer *telemetry.Tracer
 }
 
@@ -105,6 +107,8 @@ func (c *Config) Validate() error {
 		return errors.New("experiments: profile has no task generator")
 	case c.Profile.InterarrivalMean <= 0:
 		return errors.New("experiments: profile interarrival must be positive")
+	case c.Profile.InterarrivalStd < 0:
+		return errors.New("experiments: profile interarrival std must be non-negative")
 	case c.ExactNodeLimit < 0 || c.Workers < 0:
 		return errors.New("experiments: negative limit")
 	}
@@ -159,6 +163,23 @@ type variant struct {
 	// telemetry attaches a fresh metrics registry to every simulation and
 	// carries its snapshot into the trace result (the telemetry report).
 	telemetry bool
+	// resilience, when non-nil, wraps the variant's solver in a budgeted
+	// fallback chain and optionally injects faults (the fault-sweep
+	// ablation).
+	resilience *resilienceSpec
+}
+
+// resilienceSpec hardens one variant: the engine becomes the primary stage
+// of a core.BudgetedSolver falling back to the plain heuristic and then
+// reject-only, and a non-zero fault plan wraps the primary with injected
+// solver errors plus predictor and latency faults.
+type resilienceSpec struct {
+	// budget bounds every budget-aware chain stage per activation.
+	budget core.Budget
+	// plan injects deterministic faults; nil or zero injects none. Each
+	// trace derives its own plan seed so faults differ across traces while
+	// the whole grid stays reproducible from Config.Seed.
+	plan *faultinject.Plan
 }
 
 // traceResult is one (trace, variant) outcome.
@@ -250,41 +271,78 @@ func runGrid(cfg Config, tight trace.Tightness, variants []variant) (*grid, erro
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
+	// A shared tracer cannot absorb interleaved runs, so the cells of
+	// tracer-attached variants (variant.telemetry) go through a dedicated
+	// serial lane; every other cell stays parallel.
+	serialLane := false
 	if cfg.Tracer != nil {
-		workers = 1
+		for _, v := range variants {
+			if v.telemetry {
+				serialLane = true
+				break
+			}
+		}
 	}
+
 	type job struct{ t, v int }
 	jobs := make(chan job)
-	errs := make(chan error, workers)
+	serial := make(chan job)
+	// done closes at the first failure: workers then drain their lane
+	// without simulating and the producer stops feeding, so runGrid
+	// returns within one in-flight cell of the error.
+	done := make(chan struct{})
+	var failOnce sync.Once
+	var firstErr error
+	fail := func(jb job, err error) {
+		failOnce.Do(func() {
+			firstErr = fmt.Errorf("experiments: trace %d variant %q: %w", jb.t, variants[jb.v].name, err)
+			close(done)
+		})
+	}
 	var wg sync.WaitGroup
+	work := func(lane <-chan job) {
+		defer wg.Done()
+		for jb := range lane {
+			select {
+			case <-done:
+				continue // cancelled: drain without simulating
+			default:
+			}
+			res, err := runOne(cfg, plat, set, traces[jb.t], uint64(jb.t), variants[jb.v])
+			if err != nil {
+				fail(jb, err)
+				continue
+			}
+			g.results[jb.v][jb.t] = res
+		}
+	}
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for jb := range jobs {
-				res, err := runOne(cfg, plat, set, traces[jb.t], uint64(jb.t), variants[jb.v])
-				if err != nil {
-					select {
-					case errs <- err:
-					default:
-					}
-					continue
-				}
-				g.results[jb.v][jb.t] = res
-			}
-		}()
+		go work(jobs)
 	}
+	if serialLane {
+		wg.Add(1)
+		go work(serial)
+	}
+feed:
 	for ti := range traces {
 		for vi := range variants {
-			jobs <- job{ti, vi}
+			lane := jobs
+			if serialLane && variants[vi].telemetry {
+				lane = serial
+			}
+			select {
+			case lane <- job{ti, vi}:
+			case <-done:
+				break feed
+			}
 		}
 	}
 	close(jobs)
+	close(serial)
 	wg.Wait()
-	select {
-	case err := <-errs:
-		return nil, err
-	default:
+	if firstErr != nil {
+		return nil, firstErr
 	}
 	return g, nil
 }
@@ -320,6 +378,9 @@ func runOne(cfg Config, plat *platform.Platform, set *task.Set, tr *trace.Trace,
 			return traceResult{}, err
 		}
 		scfg.Predictor = o
+	}
+	if v.resilience != nil {
+		wireResilience(&scfg, v, traceSeed)
 	}
 	res, err := sim.Run(scfg, tr)
 	if err != nil {

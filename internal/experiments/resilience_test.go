@@ -1,0 +1,157 @@
+package experiments
+
+import (
+	"bytes"
+	"errors"
+	"strings"
+	"sync/atomic"
+	"testing"
+
+	"predrm/internal/core"
+	"predrm/internal/sched"
+	"predrm/internal/task"
+	"predrm/internal/telemetry"
+	"predrm/internal/trace"
+)
+
+// alwaysFailing is a FallibleSolver whose every activation errors.
+type alwaysFailing struct{}
+
+func (alwaysFailing) Solve(p *sched.Problem) core.Decision {
+	mapping := make([]int, len(p.Jobs))
+	for i := range mapping {
+		mapping[i] = sched.Unmapped
+	}
+	return core.Decision{Mapping: mapping}
+}
+
+func (alwaysFailing) SolveChecked(p *sched.Problem) (core.Decision, error) {
+	return core.Decision{}, errors.New("backend down")
+}
+
+// TestRunGridPromptErrorPropagation proves runGrid cancels outstanding work
+// as soon as one cell fails and reports the failure with its (trace,
+// variant) coordinates.
+func TestRunGridPromptErrorPropagation(t *testing.T) {
+	cfg := smallConfig()
+	cfg.Traces = 6
+	cfg.Workers = 2
+	var started atomic.Int64
+	variants := []variant{
+		{name: "doomed", solver: func(*task.Set) core.Solver {
+			started.Add(1)
+			return alwaysFailing{}
+		}},
+		{name: "fine-1", engine: engineHeuristic},
+		{name: "fine-2", engine: engineHeuristic},
+		{name: "fine-3", engine: engineHeuristic},
+	}
+	_, err := runGrid(cfg, trace.VeryTight, variants)
+	if err == nil {
+		t.Fatal("failing variant did not surface an error")
+	}
+	msg := err.Error()
+	if !strings.Contains(msg, `variant "doomed"`) || !strings.Contains(msg, "trace ") {
+		t.Fatalf("error lacks grid coordinates: %v", err)
+	}
+	if !strings.Contains(msg, "backend down") {
+		t.Fatalf("error lost the cause: %v", err)
+	}
+	// The doomed variant fails on its very first cell; cancellation must
+	// stop the grid long before all of its cells are attempted.
+	if n := started.Load(); n >= int64(cfg.Traces) {
+		t.Fatalf("doomed variant started %d cells, cancellation not prompt", n)
+	}
+}
+
+// TestRunGridTracerKeepsOthersParallel checks the tracer only serialises
+// the telemetry-attached cells: a grid mixing traced and untraced variants
+// completes with multiple workers and a coherent event stream.
+func TestRunGridTracerKeepsOthersParallel(t *testing.T) {
+	var sink bytes.Buffer
+	cfg := smallConfig()
+	cfg.Workers = 4
+	cfg.Tracer = telemetry.NewTracer(telemetry.TracerOptions{Sink: &sink})
+	variants := []variant{
+		{name: "traced", engine: engineHeuristic, telemetry: true},
+		{name: "plain-1", engine: engineHeuristic},
+		{name: "plain-2", engine: engineGreedy},
+	}
+	g, err := runGrid(cfg, trace.VeryTight, variants)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cfg.Tracer.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if sink.Len() == 0 {
+		t.Fatal("traced variant emitted no events")
+	}
+	for vi := range variants {
+		for ti, r := range g.results[vi] {
+			if r.Accepted == 0 && r.RejPct == 0 {
+				t.Fatalf("cell (%d,%d) never ran", ti, vi)
+			}
+		}
+	}
+	// Only the traced variant carries snapshots.
+	if g.results[0][0].Telemetry == nil {
+		t.Fatal("traced variant lost its snapshot")
+	}
+	if g.results[1][0].Telemetry != nil {
+		t.Fatal("untraced variant grew a snapshot")
+	}
+	// Seq must be strictly increasing: a coherent single stream, not an
+	// interleaving that lost events.
+	events := cfg.Tracer.Events()
+	for i := 1; i < len(events); i++ {
+		if events[i].Seq <= events[i-1].Seq {
+			t.Fatalf("event stream out of order at %d", i)
+		}
+	}
+}
+
+func TestValidateRejectsNegativeInterarrivalStd(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Profile.InterarrivalStd = -0.1
+	if err := cfg.Validate(); err == nil {
+		t.Fatal("negative interarrival std accepted")
+	}
+}
+
+// TestFaultSweepSmoke runs the graceful-degradation ablation at a small
+// scale: no deadline misses, monotone accounting, populated table.
+func TestFaultSweepSmoke(t *testing.T) {
+	cfg := smallConfig()
+	res, err := FaultSweep(cfg, []float64{0, 0.25})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rej) != 2 || len(res.Table.Rows) != 2 {
+		t.Fatalf("want 2 rows, got %d/%d", len(res.Rej), len(res.Table.Rows))
+	}
+	clean := res.PerRate["faults=0%"]
+	faulted := res.PerRate["faults=25%"]
+	if clean == nil || faulted == nil {
+		t.Fatalf("per-rate snapshots missing: %v", res.PerRate)
+	}
+	if n := clean.Counters["faultinject.solver_errors"]; n != 0 {
+		t.Fatalf("zero-rate plan injected %d solver faults", n)
+	}
+	if n := faulted.Counters["faultinject.solver_errors"]; n == 0 {
+		t.Fatal("25% plan injected no solver faults")
+	}
+	if n := faulted.Counters["resilience.fallbacks"]; n == 0 {
+		t.Fatal("no fallbacks under a 30-activation fault plan")
+	}
+	if _, ok := faulted.Histograms["resilience.fallback_depth"]; !ok {
+		t.Fatal("fallback depth histogram missing from the snapshot")
+	}
+	var buf bytes.Buffer
+	if err := res.Table.Fprint(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "faults=25%") {
+		t.Fatalf("table lacks the faulted row:\n%s", buf.String())
+	}
+}

@@ -62,6 +62,13 @@ type Config struct {
 	// ExtraOverhead is added to the predictor's own overhead as decision
 	// latency, in simulated time.
 	ExtraOverhead float64
+	// OverheadHook, when non-nil, contributes additional per-request
+	// decision latency (simulated time): it is called once per arrival
+	// with the request index and arrival time, and its result is added to
+	// ExtraOverhead and the predictor overhead. internal/faultinject uses
+	// it to inject latency spikes; it must be deterministic in (req,
+	// arrival) for reproducible runs and must not return a negative value.
+	OverheadHook func(req int, arrival float64) float64
 	// WorkConserving switches execution between activations from the
 	// planned schedule (default: reservations for the predicted task are
 	// honoured) to greedy EDF dispatch that backfills reserved gaps.
@@ -483,6 +490,9 @@ func Run(cfg Config, tr *trace.Trace) (*Result, error) {
 		if cfg.Predictor != nil {
 			overhead += cfg.Predictor.Overhead()
 		}
+		if cfg.OverheadHook != nil {
+			overhead += cfg.OverheadHook(idx, req.Arrival)
+		}
 		decisionTime := math.Max(r.now, req.Arrival+overhead)
 		if err := r.advanceTo(decisionTime); err != nil {
 			return nil, err
@@ -546,11 +556,25 @@ func Run(cfg Config, tr *trace.Trace) (*Result, error) {
 		if measuring {
 			solveStart = time.Now()
 		}
-		decision, admitted := core.Admit(cfg.Solver, problem)
+		decision, admitted, solveErr := core.AdmitChecked(cfg.Solver, problem)
 		var wall time.Duration
 		if measuring {
 			wall = time.Since(solveStart)
 			r.ins.solverSec.Observe(wall.Seconds())
+		}
+		if solveErr != nil {
+			// A fallible solver failed outright (core.FallibleSolver) with no
+			// resilience chain to absorb it. Report the failure with its
+			// request coordinates and abort the run — continuing would
+			// silently convert a solver outage into rejections.
+			if r.trc != nil {
+				e := telemetry.NewEvent(r.now, telemetry.EvSolverReturned)
+				e.Req = idx
+				e.WallNs = wall.Nanoseconds()
+				e.Reason = "error"
+				r.trc.Emit(e)
+			}
+			return nil, fmt.Errorf("sim: solver failed at request %d (t=%.6f): %w", idx, r.now, solveErr)
 		}
 		if r.trc != nil {
 			e := telemetry.NewEvent(r.now, telemetry.EvSolverReturned)

@@ -41,8 +41,9 @@ const (
 	// critical + predicted).
 	EvSolverInvoked EventType = "solver_invoked"
 	// EvSolverReturned: the admission protocol finished. WallNs is the
-	// measured solver latency; Reason is "feasible" or "infeasible"; Value
-	// is the decision's energy objective when feasible.
+	// measured solver latency; Reason is "feasible", "infeasible", or
+	// "error" (a fallible solver failed and the run aborted); Value is the
+	// decision's energy objective when feasible.
 	EvSolverReturned EventType = "solver_returned"
 	// EvAdmit: request Req was accepted onto resource Res. Reason is
 	// "with_reservation" when a predicted job was co-mapped,
@@ -84,6 +85,18 @@ const (
 	// Value is the job's total consumed energy (including migrations);
 	// Reason is "critical" for critical releases.
 	EvJobFinish EventType = "job_finish"
+	// EvSolverFallback: the budgeted solver chain (core.BudgetedSolver)
+	// fell through to a deeper stage during the activation for request
+	// Req. Value is the stage index fallen to (== the chain length when it
+	// bottomed out in reject-only); Reason is "error" (the stage failed or
+	// panicked), "budget" (its budget ran out with no feasible incumbent),
+	// or "reject_only".
+	EvSolverFallback EventType = "solver_fallback"
+	// EvFaultInjected: a fault plan (internal/faultinject) fired. Reason
+	// identifies the fault ("solver_error", "latency_spike",
+	// "predictor_outage", "predictor_corrupt"); Value carries its
+	// magnitude where meaningful (spike duration, arrival shift).
+	EvFaultInjected EventType = "fault_injected"
 )
 
 // KnownEventTypes returns every event type internal/sim emits, in schema
@@ -95,6 +108,7 @@ func KnownEventTypes() []EventType {
 		EvAdmit, EvReject, EvMigration, EvCriticalRelease,
 		EvReservationPlanned, EvReservationHonoured, EvReservationBackfilled,
 		EvJobStart, EvJobPreempt, EvJobFinish,
+		EvSolverFallback, EvFaultInjected,
 	}
 }
 

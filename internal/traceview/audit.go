@@ -34,6 +34,11 @@ const (
 	VOrphanAdmission
 	// VExecBeforeArrival: a request executed before it arrived.
 	VExecBeforeArrival
+	// VOrphanFallback: the resilience chain reported a solver_fallback for
+	// a request that has no solver_invoked event — a fallback can only
+	// happen inside a running admission protocol (only reported for
+	// gap-free traces).
+	VOrphanFallback
 )
 
 // String names the kind.
@@ -55,6 +60,8 @@ func (k ViolationKind) String() string {
 		return "orphan_admission"
 	case VExecBeforeArrival:
 		return "exec_before_arrival"
+	case VOrphanFallback:
+		return "orphan_fallback"
 	default:
 		return fmt.Sprintf("ViolationKind(%d)", int(k))
 	}
@@ -145,6 +152,9 @@ func Audit(d *Decoded, opts AuditOptions) []Violation {
 	}
 
 	vs = append(vs, auditReservations(d)...)
+	if tl.Dropped == 0 {
+		vs = append(vs, auditFallbacks(d)...)
+	}
 
 	sort.SliceStable(vs, func(a, b int) bool {
 		if vs[a].T != vs[b].T {
@@ -193,6 +203,31 @@ func auditReservations(d *Decoded) []Violation {
 				Detail: fmt.Sprintf("reservation for predicted arrival %.6f neither honoured nor backfilled by the next activation (t=%.6f)",
 					arrival, flushT)})
 		}
+	}
+	return vs
+}
+
+// auditFallbacks checks that every solver_fallback event (the resilience
+// chain degrading, see core.BudgetedSolver) is anchored to a request whose
+// admission protocol actually ran: a fallback for a request with no
+// solver_invoked event means the chain was driven outside the protocol the
+// trace describes. Only meaningful for gap-free traces — the caller gates
+// on Dropped == 0.
+func auditFallbacks(d *Decoded) []Violation {
+	invoked := make(map[int]bool)
+	for _, e := range d.Events {
+		if e.Type == telemetry.EvSolverInvoked && e.Req >= 0 {
+			invoked[e.Req] = true
+		}
+	}
+	var vs []Violation
+	for _, e := range d.Events {
+		if e.Type != telemetry.EvSolverFallback || e.Req < 0 || invoked[e.Req] {
+			continue
+		}
+		vs = append(vs, Violation{Kind: VOrphanFallback, Req: e.Req, Res: -1, T: e.T,
+			Detail: fmt.Sprintf("solver fallback to stage %d (%s) for a request never handed to the solver",
+				int(e.Value), e.Reason)})
 	}
 	return vs
 }
