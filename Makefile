@@ -3,10 +3,12 @@ GO ?= go
 .PHONY: check build test vet race bench benchcheck tracecheck faultcheck
 
 # check is the repo gate: vet, build everything, run the full test suite
-# under the race detector (the telemetry layer is concurrency-safe by
-# contract), audit the golden trace with the replay checker, gate the
-# hot-path benchmarks against the committed baseline (skip: BENCHCHECK=0),
-# and smoke the fault-injection resilience path (skip: FAULTCHECK=0).
+# under the race detector (the telemetry layer and the parallel exact
+# solver are concurrency-safe by contract — internal/exact's differential
+# and budget-exhaustion tests ride under race here), audit the golden
+# trace with the replay checker, gate the hot-path benchmarks against the
+# committed baseline (skip: BENCHCHECK=0), and smoke the fault-injection
+# resilience path (skip: FAULTCHECK=0).
 check: vet build race tracecheck benchcheck faultcheck
 
 build:

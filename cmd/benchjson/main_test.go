@@ -41,15 +41,15 @@ func TestCompareGate(t *testing.T) {
 			{Pkg: "p", Name: "HeuristicSolve", NsPerOp: 560, AllocsPerOp: i64(1)}, // +12% < +15%
 			{Pkg: "p", Name: "ResourceFeasible/preemptable-allready", NsPerOp: 69, AllocsPerOp: i64(0)},
 		}
-		regs, compared := compare(base, cur, hot, 0.15)
-		if len(regs) != 0 || compared != 2 {
-			t.Fatalf("regs=%v compared=%d", regs, compared)
+		regs, compared, fresh := compare(base, cur, hot, 0.15)
+		if len(regs) != 0 || compared != 2 || len(fresh) != 0 {
+			t.Fatalf("regs=%v compared=%d fresh=%v", regs, compared, fresh)
 		}
 	})
 
 	t.Run("ns-regression", func(t *testing.T) {
 		cur := []Benchmark{{Pkg: "p", Name: "HeuristicSolve", NsPerOp: 600, AllocsPerOp: i64(1)}} // +20%
-		regs, _ := compare(base, cur, hot, 0.15)
+		regs, _, _ := compare(base, cur, hot, 0.15)
 		if len(regs) != 1 || !strings.Contains(regs[0], "ns/op") {
 			t.Fatalf("regs=%v", regs)
 		}
@@ -57,7 +57,7 @@ func TestCompareGate(t *testing.T) {
 
 	t.Run("alloc-regression", func(t *testing.T) {
 		cur := []Benchmark{{Pkg: "p", Name: "HeuristicSolve", NsPerOp: 500, AllocsPerOp: i64(2)}}
-		regs, _ := compare(base, cur, hot, 0.15)
+		regs, _, _ := compare(base, cur, hot, 0.15)
 		if len(regs) != 1 || !strings.Contains(regs[0], "allocs/op") {
 			t.Fatalf("regs=%v", regs)
 		}
@@ -68,23 +68,47 @@ func TestCompareGate(t *testing.T) {
 			{Pkg: "p", Name: "Fig2a", NsPerOp: 5000, AllocsPerOp: i64(90)}, // not hot
 			{Pkg: "p", Name: "HeuristicSolve", NsPerOp: 500, AllocsPerOp: i64(1)},
 		}
-		regs, compared := compare(base, cur, hot, 0.15)
-		if len(regs) != 0 || compared != 1 {
-			t.Fatalf("regs=%v compared=%d", regs, compared)
+		regs, compared, fresh := compare(base, cur, hot, 0.15)
+		if len(regs) != 0 || compared != 1 || len(fresh) != 0 {
+			t.Fatalf("regs=%v compared=%d fresh=%v", regs, compared, fresh)
 		}
 	})
 
-	t.Run("one-sided-benchmarks-skipped", func(t *testing.T) {
-		cur := []Benchmark{{Pkg: "p", Name: "SimulateEDF/new-case", NsPerOp: 1, AllocsPerOp: i64(99)}}
-		regs, compared := compare(base, cur, hot, 0.15)
+	t.Run("baseline-only-benchmarks-skipped", func(t *testing.T) {
+		cur := []Benchmark{{Pkg: "p", Name: "HeuristicSolve", NsPerOp: 500, AllocsPerOp: i64(1)}}
+		regs, compared, fresh := compare(base, cur, hot, 0.15)
+		if len(regs) != 0 || compared != 1 || len(fresh) != 0 {
+			t.Fatalf("regs=%v compared=%d fresh=%v", regs, compared, fresh)
+		}
+	})
+
+	t.Run("new-hot-benchmark-passes", func(t *testing.T) {
+		// A hot benchmark absent from the baseline — e.g. a freshly added
+		// OptimalSolveParallel case — must be reported as new, not gated,
+		// even when it would trivially "regress" against nothing.
+		cur := []Benchmark{{Pkg: "p", Name: "OptimalSolveParallel/workers=1", NsPerOp: 1e9, AllocsPerOp: i64(99)}}
+		regs, compared, fresh := compare(base, cur, hot, 0.15)
 		if len(regs) != 0 || compared != 0 {
 			t.Fatalf("regs=%v compared=%d", regs, compared)
+		}
+		if len(fresh) != 1 || fresh[0] != "p.OptimalSolveParallel/workers=1" {
+			t.Fatalf("fresh=%v", fresh)
+		}
+	})
+
+	t.Run("multi-worker-parallel-not-gated", func(t *testing.T) {
+		// Multi-worker timings are goroutine-scheduling noise on small
+		// machines; only workers=1 is in the hot set.
+		cur := []Benchmark{{Pkg: "p", Name: "OptimalSolveParallel/workers=4", NsPerOp: 1e9, AllocsPerOp: i64(99)}}
+		regs, compared, fresh := compare(base, cur, hot, 0.15)
+		if len(regs) != 0 || compared != 0 || len(fresh) != 0 {
+			t.Fatalf("regs=%v compared=%d fresh=%v", regs, compared, fresh)
 		}
 	})
 
 	t.Run("missing-benchmem-tolerated", func(t *testing.T) {
 		cur := []Benchmark{{Pkg: "p", Name: "HeuristicSolve", NsPerOp: 510}}
-		regs, compared := compare(base, cur, hot, 0.15)
+		regs, compared, _ := compare(base, cur, hot, 0.15)
 		if len(regs) != 0 || compared != 1 {
 			t.Fatalf("regs=%v compared=%d", regs, compared)
 		}

@@ -46,6 +46,7 @@ func main() {
 		tracePath = flag.String("trace", "", "trace JSON file (empty: generate)")
 		setPath   = flag.String("taskset", "", "task-set JSON file written by tracegen (empty: generate from -seed)")
 		engine    = flag.String("engine", "heuristic", "mapping engine: heuristic, greedy, or milp")
+		exactWork = flag.Int("exact-workers", 0, "search goroutines for -engine milp (0 or 1: serial; results are identical either way)")
 		usePred   = flag.Bool("predict", false, "enable the oracle predictor")
 		accuracy  = flag.Float64("accuracy", 1.0, "oracle task-type accuracy in [0,1]")
 		timeErr   = flag.Float64("time-error", 0, "oracle arrival-time normalized RMSE")
@@ -69,6 +70,12 @@ func main() {
 	)
 	flag.Parse()
 	validateFlags(*usePred, *accuracy, *timeErr, *overhead, *length, *types, *meanIA, *showGantt, *group)
+	if *exactWork < 0 {
+		fatalf("-exact-workers %d must be non-negative", *exactWork)
+	}
+	if *engine != "milp" && flagWasSet("exact-workers") {
+		fatalf("-exact-workers has no effect with -engine %s", *engine)
+	}
 
 	root := rng.New(*seed)
 	var (
@@ -128,7 +135,7 @@ func main() {
 	case "greedy":
 		cfg.Solver = &core.Heuristic{Greedy: true}
 	case "milp":
-		cfg.Solver = &exact.Optimal{}
+		cfg.Solver = &exact.Optimal{Workers: *exactWork}
 	default:
 		fatalf("unknown engine %q", *engine)
 	}

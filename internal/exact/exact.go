@@ -35,18 +35,47 @@ const DefaultNodeLimit = 300000
 
 // Stats reports what the last Solve did.
 type Stats struct {
-	// Nodes is the number of branch-and-bound nodes expanded.
+	// Nodes is the number of branch-and-bound nodes expanded, summed over
+	// all workers for a parallel solve. Parallel node counts vary with
+	// scheduling (pruning depends on when the shared incumbent tightens);
+	// only the returned decision is deterministic.
 	Nodes int
 	// Truncated reports whether the node budget ran out before the search
 	// space was exhausted; if false the result is the exact optimum.
 	Truncated bool
+	// Tasks is the number of root subtree tasks of a parallel solve
+	// (0 when the serial path ran).
+	Tasks int
+	// Workers is the number of search goroutines used (0 serial).
+	Workers int
 }
 
 // Optimal is the exact mapping solver. The zero value is ready to use.
-// An Optimal is not safe for concurrent use: it keeps per-solve state.
+//
+// An Optimal is not safe for concurrent use by multiple callers: it keeps
+// per-solve state, and Solve must be called from one goroutine at a time.
+// With Workers > 1, Solve parallelises internally — it splits the root of
+// the branch-and-bound tree into subtree tasks and searches them on its
+// own bounded worker pool — while remaining a single-caller API. The
+// parallel search is deterministic: a completed (non-truncated) parallel
+// Solve returns a decision bit-identical to the serial solver's,
+// regardless of worker count, GOMAXPROCS, or scheduling (see DESIGN.md
+// §7 for the total-order incumbent argument).
 type Optimal struct {
 	// NodeLimit overrides DefaultNodeLimit when positive.
 	NodeLimit int
+	// Workers selects the search concurrency: 0 or 1 is the serial
+	// depth-first search, higher values split the root frontier into
+	// subtree tasks explored by that many goroutines sharing an atomic
+	// incumbent bound.
+	Workers int
+	// CacheSlots sizes the cross-activation feasibility cache: 0 selects
+	// sched.DefaultFeasCacheSlots, negative disables the cache. The cache
+	// memoises EDF feasibility probes keyed by a canonical fingerprint of
+	// (resource entry list, candidate entry) and persists across Solve
+	// calls, so consecutive RM activations — which share almost all of
+	// their admitted state — reuse each other's verdicts.
+	CacheSlots int
 	// LastStats describes the most recent Solve call.
 	LastStats Stats
 
@@ -60,6 +89,12 @@ type Optimal struct {
 	// Telemetry instruments (nil-safe no-ops until AttachMetrics).
 	mSolves, mTruncated, mInfeasible *telemetry.Counter
 	mNodes                           *telemetry.Histogram
+	mParSolves                       *telemetry.Counter
+	hParTasks                        *telemetry.Histogram
+	gParWorkers                      *telemetry.Gauge
+	mCacheHits, mCacheMisses         *telemetry.Counter
+	mCacheEvict                      *telemetry.Counter
+	gCacheRate                       *telemetry.Gauge
 
 	// seeder warms the incumbent with Algorithm 1; reusing one instance
 	// keeps its scratch arena alive across solves.
@@ -89,11 +124,41 @@ type Optimal struct {
 	// during the search.
 	cand  [][]sched.Entry
 	candE [][]float64
+
+	// Cross-activation feasibility cache (see CacheSlots) and the serial
+	// path's batched probe counters, flushed into the cache per Solve.
+	cache                *sched.FeasCache
+	hitsDelta, missDelta int64
+	lastEvict            int64
+
+	// Parallel-search state (see parallel.go): the persistent worker
+	// scratch pool and the shared incumbent/termination machinery.
+	par parSearch
 }
 
-// feasible checks resource res's current entry list.
+// feasibleList probes one entry list, going through the cache when
+// enabled. hits/misses batch the probe statistics caller-side so search
+// workers pay no per-probe atomics.
+func feasibleList(p *sched.Problem, l *sched.EntryList, res int, cache *sched.FeasCache,
+	edf *sched.EDFScratch, hits, misses *int64) bool {
+	preempt := p.Platform.Resource(res).Preemptable()
+	if cache == nil {
+		return l.Feasible(preempt, p.Time, edf)
+	}
+	fp := l.FeasFingerprint(preempt)
+	if v, ok := cache.Lookup(fp); ok {
+		*hits++
+		return v
+	}
+	*misses++
+	v := l.Feasible(preempt, p.Time, edf)
+	cache.Store(fp, v)
+	return v
+}
+
+// feasible checks resource res's current entry list on the serial path.
 func (o *Optimal) feasible(res int) bool {
-	return o.lists[res].Feasible(o.p.Platform.Resource(res).Preemptable(), o.p.Time, &o.edf)
+	return feasibleList(o.p, &o.lists[res], res, o.cache, &o.edf, &o.hitsDelta, &o.missDelta)
 }
 
 var _ core.Solver = (*Optimal)(nil)
@@ -120,12 +185,24 @@ func (o *Optimal) BudgetUsed() core.BudgetUse {
 
 // AttachMetrics registers the solver's instruments on reg: counters
 // exact.solves, exact.truncated, and exact.infeasible, plus the histogram
-// exact.nodes (branch-and-bound nodes per solve).
+// exact.nodes (branch-and-bound nodes per solve). The parallel search adds
+// exact.parallel.solves (parallel-path activations), exact.parallel.tasks
+// (root subtree tasks per parallel solve) and exact.parallel.workers
+// (goroutines per parallel solve, gauge); the pruning cache adds
+// exact.cache.hits / exact.cache.misses / exact.cache.evictions and the
+// lifetime exact.cache.hit_rate gauge.
 func (o *Optimal) AttachMetrics(reg *telemetry.Registry) {
 	o.mSolves = reg.Counter("exact.solves")
 	o.mTruncated = reg.Counter("exact.truncated")
 	o.mInfeasible = reg.Counter("exact.infeasible")
 	o.mNodes = reg.Histogram("exact.nodes", telemetry.NodeBuckets)
+	o.mParSolves = reg.Counter("exact.parallel.solves")
+	o.hParTasks = reg.Histogram("exact.parallel.tasks", telemetry.CountBuckets)
+	o.gParWorkers = reg.Gauge("exact.parallel.workers")
+	o.mCacheHits = reg.Counter("exact.cache.hits")
+	o.mCacheMisses = reg.Counter("exact.cache.misses")
+	o.mCacheEvict = reg.Counter("exact.cache.evictions")
+	o.gCacheRate = reg.Gauge("exact.cache.hit_rate")
 }
 
 // Solve returns the minimum-energy feasible mapping of p, or an infeasible
@@ -147,6 +224,11 @@ func (o *Optimal) Solve(p *sched.Problem) core.Decision {
 	o.found = false
 	o.bestE = math.Inf(1)
 
+	if o.cache == nil && o.CacheSlots >= 0 {
+		o.cache = sched.NewFeasCache(o.CacheSlots)
+	}
+	o.cache.Advance()
+
 	n := p.Platform.Len()
 	m := len(p.Jobs)
 	if cap(o.mapping) < m {
@@ -159,6 +241,9 @@ func (o *Optimal) Solve(p *sched.Problem) core.Decision {
 	}
 	for i := 0; i < n; i++ {
 		o.lists[i].Reset()
+		if o.cache != nil {
+			o.lists[i].EnableFingerprint(p.Time)
+		}
 	}
 
 	// Pre-assign pinned jobs and collect free ones.
@@ -183,6 +268,7 @@ func (o *Optimal) Solve(p *sched.Problem) core.Decision {
 			o.LastStats = Stats{}
 			o.mSolves.Inc()
 			o.mInfeasible.Inc()
+			o.flushCacheStats()
 			return core.Decision{Mapping: append([]int(nil), o.mapping...), Feasible: false}
 		}
 	}
@@ -201,19 +287,54 @@ func (o *Optimal) Solve(p *sched.Problem) core.Decision {
 		o.bestMap = append(o.bestMap[:0], h.Mapping...)
 	}
 
-	o.dfs(0, pinnedEnergy)
+	tasks, workers := 0, 0
+	if o.Workers > 1 && len(o.order) >= 2 {
+		tasks, workers = o.solveParallel(h, pinnedEnergy)
+	}
+	if workers == 0 {
+		// Serial depth-first search: either requested (Workers <= 1) or
+		// the root frontier was too small to be worth splitting.
+		o.dfs(0, pinnedEnergy)
+	}
 
-	o.LastStats = Stats{Nodes: o.nodes, Truncated: o.nodes >= o.limit || o.wallHit}
+	o.LastStats = Stats{
+		Nodes:     o.nodes,
+		Truncated: o.nodes >= o.limit || o.wallHit,
+		Tasks:     tasks,
+		Workers:   workers,
+	}
 	o.mSolves.Inc()
 	o.mNodes.Observe(float64(o.nodes))
+	if workers > 0 {
+		o.mParSolves.Inc()
+		o.hParTasks.Observe(float64(tasks))
+		o.gParWorkers.Set(float64(workers))
+	}
 	if o.LastStats.Truncated {
 		o.mTruncated.Inc()
 	}
+	o.flushCacheStats()
 	if !o.found {
 		o.mInfeasible.Inc()
 		return core.Decision{Mapping: append([]int(nil), o.mapping...), Feasible: false}
 	}
 	return core.Decision{Mapping: append([]int(nil), o.bestMap...), Feasible: true, Energy: o.bestE}
+}
+
+// flushCacheStats folds the batched probe counters into the cache and the
+// telemetry instruments.
+func (o *Optimal) flushCacheStats() {
+	if o.cache == nil {
+		return
+	}
+	o.cache.AddStats(o.hitsDelta, o.missDelta)
+	o.mCacheHits.Add(o.hitsDelta)
+	o.mCacheMisses.Add(o.missDelta)
+	o.hitsDelta, o.missDelta = 0, 0
+	s := o.cache.Stats()
+	o.mCacheEvict.Add(s.Evictions - o.lastEvict)
+	o.lastEvict = s.Evictions
+	o.gCacheRate.Set(s.HitRate())
 }
 
 func (o *Optimal) entry(jobIdx, r int) sched.Entry {

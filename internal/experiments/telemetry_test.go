@@ -50,6 +50,15 @@ func TestTelemetryProbe(t *testing.T) {
 	if r.PerVariant["MILP"].Counters["exact.solves"] == 0 {
 		t.Error("exact.solves not recorded")
 	}
+	// The exact solver's cross-activation pruning cache must be doing real
+	// work on a sweep: consecutive activations share most of their admitted
+	// state, so feasibility probes repeat and hit.
+	if hits := r.PerVariant["MILP"].Counters["exact.cache.hits"]; hits == 0 {
+		t.Error("exact.cache.hits is zero: the pruning cache never hit across activations")
+	}
+	if rate := r.PerVariant["MILP"].Gauges["exact.cache.hit_rate"].Value; rate <= 0 || rate > 1 {
+		t.Errorf("exact.cache.hit_rate = %v, want in (0,1]", rate)
+	}
 	if r.Merged.Counters["sim.requests"] != 4*wantRequests {
 		t.Errorf("merged requests: got %d, want %d", r.Merged.Counters["sim.requests"], 4*wantRequests)
 	}

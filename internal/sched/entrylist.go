@@ -23,13 +23,35 @@ type EntryList struct {
 	entries []Entry
 	future  int
 	pinned  int // length of the pinned prefix group
+
+	// Incremental feasibility-fingerprint state (see fingerprint.go).
+	// While fpOn, fpXor/fpSum hold an order-independent multiset digest
+	// of the entries with times normalised to fpT, maintained by
+	// Insert/Remove at O(1) extra cost per operation.
+	fpOn         bool
+	fpT          float64
+	fpXor, fpSum uint64
 }
 
-// Reset empties the list, retaining capacity.
+// Reset empties the list, retaining capacity and the fingerprint setting.
 func (l *EntryList) Reset() {
 	l.entries = l.entries[:0]
 	l.future = 0
 	l.pinned = 0
+	l.fpXor, l.fpSum = 0, 0
+}
+
+// CopyFrom makes l an independent copy of src — entries, counters, and
+// fingerprint state — reusing l's storage. It is how a search worker
+// snapshots the shared base state before applying its own trial inserts.
+func (l *EntryList) CopyFrom(src *EntryList) {
+	l.entries = append(l.entries[:0], src.entries...)
+	l.future = src.future
+	l.pinned = src.pinned
+	l.fpOn = src.fpOn
+	l.fpT = src.fpT
+	l.fpXor = src.fpXor
+	l.fpSum = src.fpSum
 }
 
 // Len returns the number of entries.
@@ -71,6 +93,11 @@ func (l *EntryList) Insert(t float64, e Entry) int {
 	if e.ReadyAt > t+Eps {
 		l.future++
 	}
+	if l.fpOn {
+		h := entryHash(l.fpT, e)
+		l.fpXor ^= h
+		l.fpSum += h
+	}
 	return lo
 }
 
@@ -83,6 +110,11 @@ func (l *EntryList) Remove(t float64, pos int) {
 	}
 	if s[pos].PinnedFirst {
 		l.pinned--
+	}
+	if l.fpOn {
+		h := entryHash(l.fpT, s[pos])
+		l.fpXor ^= h
+		l.fpSum -= h
 	}
 	copy(s[pos:], s[pos+1:])
 	l.entries = s[:len(s)-1]

@@ -132,7 +132,7 @@ func BuildTimeline(d *Decoded) *Timeline {
 		Dropped:  d.Dropped,
 		Diags:    d.Diags,
 	}
-	open := make(map[int]openExec)  // resource -> running job
+	open := make(map[int]openExec)    // resource -> running job
 	resv := make(map[resvKey]float64) // pending reservation -> planned time
 	inFlight := 0
 	step := func(t float64, delta int) {
