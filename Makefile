@@ -1,15 +1,16 @@
 GO ?= go
 
-.PHONY: check build test vet race bench benchcheck tracecheck faultcheck
+.PHONY: check build test vet race bench benchcheck tracecheck faultcheck obscheck
 
 # check is the repo gate: vet, build everything, run the full test suite
 # under the race detector (the telemetry layer and the parallel exact
 # solver are concurrency-safe by contract — internal/exact's differential
 # and budget-exhaustion tests ride under race here), audit the golden
 # trace with the replay checker, gate the hot-path benchmarks against the
-# committed baseline (skip: BENCHCHECK=0), and smoke the fault-injection
-# resilience path (skip: FAULTCHECK=0).
-check: vet build race tracecheck benchcheck faultcheck
+# committed baseline (skip: BENCHCHECK=0), smoke the fault-injection
+# resilience path (skip: FAULTCHECK=0), and exercise the live
+# introspection plane end to end (skip: OBSCHECK=0).
+check: vet build race tracecheck benchcheck faultcheck obscheck
 
 build:
 	$(GO) build ./...
@@ -57,4 +58,19 @@ faultcheck:
 	else \
 		$(GO) test -race -run 'FaultSweepSmoke|RunGridPromptErrorPropagation|SimDeterminism|EndToEndTraceAudits' \
 			./internal/experiments/ ./internal/faultinject/; \
+	fi
+
+# obscheck exercises the live introspection plane under the race detector:
+# subscriber fan-out (non-blocking, drop-counting), the Prometheus writer
+# against the exposition validator and its golden file, the tail follower,
+# and the end-to-end smoke test that serves a real simulation on a random
+# port and scrapes every endpoint (including the /trace/tail byte-match
+# against the JSONL sink). Set OBSCHECK=0 to skip.
+OBSCHECK ?= 1
+obscheck:
+	@if [ "$(OBSCHECK)" = "0" ]; then \
+		echo "obscheck: skipped (OBSCHECK=0)"; \
+	else \
+		$(GO) test -race -run 'Subscriber|Prometheus|ValidateExposition|SLO|Tailer|Decoder|OpsServer|Tail|Snapshotter|PlaneProbe' \
+			./internal/telemetry/ ./internal/obs/ ./internal/traceview/; \
 	fi

@@ -15,8 +15,11 @@
 // Observability: -metrics-out writes the merged telemetry snapshot of the
 // experiments that collect one (currently "telemetry") as JSON, -trace-out
 // streams their structured event logs as JSONL (analysable with
-// tracetool), and -cpuprofile/-memprofile capture runtime/pprof profiles
-// of the whole run.
+// tracetool), -cpuprofile/-memprofile capture runtime/pprof profiles of
+// the whole run, and -ops-addr serves the live introspection plane
+// (/metrics, /statusz, /trace/tail — see internal/obs) while the sweep
+// runs; -ops-linger keeps it up after the last experiment so a final
+// scrape can be taken.
 package main
 
 import (
@@ -28,9 +31,11 @@ import (
 	"runtime"
 	"runtime/pprof"
 	"strings"
+	"sync/atomic"
 	"time"
 
 	"predrm/internal/experiments"
+	"predrm/internal/obs"
 	"predrm/internal/telemetry"
 	"predrm/internal/trace"
 )
@@ -49,9 +54,14 @@ func main() {
 		traceOut   = flag.String("trace-out", "", "write telemetry-collecting runs' event streams as JSONL to this file (concatenates one stream per simulated trace; for tracetool check/diff record a single run with rmsim)")
 		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
 		memProfile = flag.String("memprofile", "", "write a heap profile taken after the run to this file")
+		opsAddr    = flag.String("ops-addr", "", "serve the live introspection plane (metrics, statusz, trace tail, pprof) on this address while the sweep runs")
+		opsLinger  = flag.Duration("ops-linger", 0, "keep the -ops-addr server up this long after the last experiment")
 	)
 	flag.Parse()
 	validateFlags(*traces, *traceLen, *nodes)
+	if *opsLinger > 0 && *opsAddr == "" {
+		fatalf("-ops-linger needs -ops-addr")
+	}
 
 	cfg := experiments.DefaultConfig()
 	cfg.Traces = *traces
@@ -88,6 +98,28 @@ func main() {
 		}
 		cfg.Tracer = telemetry.NewTracer(telemetry.TracerOptions{Sink: traceFile})
 	}
+	// Merged snapshot of the telemetry-collecting experiments finished so
+	// far, refreshed after each id; the ops plane scrapes it live.
+	var merged atomic.Pointer[telemetry.Snapshot]
+	var opsSrv *obs.Server
+	if *opsAddr != "" {
+		if cfg.Tracer == nil {
+			// Ring-only tracer: no JSONL sink, but /trace/tail subscribers
+			// can still stream the telemetry experiments' events live.
+			cfg.Tracer = telemetry.NewTracer(telemetry.TracerOptions{})
+		}
+		plane := obs.NewPlane(obs.Options{
+			Snapshot: func() *telemetry.Snapshot { return merged.Load() },
+			Tracer:   cfg.Tracer,
+		})
+		cfg.StateProbe = plane.Probe
+		var err error
+		opsSrv, err = obs.Serve(*opsAddr, plane)
+		if err != nil {
+			fatalf("ops-addr: %v", err)
+		}
+		fmt.Fprintf(os.Stderr, "experiments: ops server on %s (try %s/statusz)\n", opsSrv.URL(), opsSrv.URL())
+	}
 	if *cpuProfile != "" {
 		f, err := os.Create(*cpuProfile)
 		if err != nil {
@@ -107,6 +139,7 @@ func main() {
 		}
 		if snap != nil {
 			snaps = append(snaps, snap)
+			merged.Store(telemetry.Merge(snaps...))
 		}
 		for _, t := range tables {
 			if err := t.Fprint(os.Stdout); err != nil {
@@ -122,7 +155,7 @@ func main() {
 	if *cpuProfile != "" {
 		pprof.StopCPUProfile()
 	}
-	if cfg.Tracer != nil {
+	if traceFile != nil {
 		// A sink write failure means the JSONL stream on disk is silently
 		// truncated; surface it rather than shipping a partial trace.
 		if err := cfg.Tracer.Flush(); err != nil {
@@ -133,6 +166,11 @@ func main() {
 		}
 		if err := cfg.Tracer.Err(); err != nil {
 			fatalf("trace-out: event stream truncated: %v", err)
+		}
+	}
+	if cfg.Tracer != nil {
+		if n := cfg.Tracer.Dropped(); n > 0 {
+			fmt.Fprintf(os.Stderr, "experiments: warning: tracer dropped %d event(s) (ring overwritten faster than drained)\n", n)
 		}
 	}
 	if *memProfile != "" {
@@ -156,6 +194,15 @@ func main() {
 		}
 		if err := os.WriteFile(*metricsOut, append(buf, '\n'), 0o644); err != nil {
 			fatalf("metrics-out: %v", err)
+		}
+	}
+	if opsSrv != nil {
+		if *opsLinger > 0 {
+			fmt.Fprintf(os.Stderr, "experiments: ops server lingering for %v on %s\n", *opsLinger, opsSrv.URL())
+			time.Sleep(*opsLinger)
+		}
+		if err := opsSrv.Close(); err != nil {
+			fatalf("ops-addr: %v", err)
 		}
 	}
 	fmt.Printf("done in %v (profile=%s, %d traces x %d requests)\n",

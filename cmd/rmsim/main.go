@@ -15,7 +15,11 @@
 // JSONL (see the README's Observability section for the schema),
 // -metrics-out writes the run's metrics snapshot as JSON and prints a
 // solver-latency summary, and -cpuprofile/-memprofile write runtime/pprof
-// profiles of the simulation.
+// profiles of the simulation. -ops-addr mounts the live introspection
+// plane (internal/obs) for the duration of the run: /metrics in
+// Prometheus exposition format, /statusz JSON RM state with SLO burn
+// rates, /trace/tail live event streaming, and /debug/pprof; -ops-linger
+// keeps it up after the run so the end state can be inspected.
 package main
 
 import (
@@ -32,6 +36,7 @@ import (
 	"predrm/internal/exact"
 	"predrm/internal/faultinject"
 	"predrm/internal/gantt"
+	"predrm/internal/obs"
 	"predrm/internal/platform"
 	"predrm/internal/predict"
 	"predrm/internal/rng"
@@ -65,6 +70,8 @@ func main() {
 
 		traceOut   = flag.String("trace-out", "", "write the structured event stream as JSONL to this file")
 		metricsOut = flag.String("metrics-out", "", "write the metrics snapshot as JSON to this file")
+		opsAddr    = flag.String("ops-addr", "", "serve the live introspection plane (/metrics, /statusz, /trace/tail, pprof) on this address (:0 picks a free port)")
+		opsLinger  = flag.Duration("ops-linger", 0, "keep the ops server up this long after the run finishes (requires -ops-addr)")
 		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile of the simulation to this file")
 		memProfile = flag.String("memprofile", "", "write a heap profile taken after the simulation to this file")
 	)
@@ -75,6 +82,9 @@ func main() {
 	}
 	if *engine != "milp" && flagWasSet("exact-workers") {
 		fatalf("-exact-workers has no effect with -engine %s", *engine)
+	}
+	if *opsAddr == "" && flagWasSet("ops-linger") {
+		fatalf("-ops-linger has no effect without -ops-addr")
 	}
 
 	root := rng.New(*seed)
@@ -165,10 +175,17 @@ func main() {
 		tracer = telemetry.NewTracer(telemetry.TracerOptions{Sink: traceFile})
 		cfg.Tracer = tracer
 	}
+	if *opsAddr != "" && tracer == nil {
+		// The introspection plane tails the event stream live; without
+		// -trace-out a ring-only tracer backs /trace/tail.
+		tracer = telemetry.NewTracer(telemetry.TracerOptions{})
+		cfg.Tracer = tracer
+	}
 	resilient := *solverBudget != "" || *faultPlan != ""
-	if *metricsOut != "" || resilient {
+	if *metricsOut != "" || resilient || *opsAddr != "" {
 		// The resilience chain always collects metrics so the degraded-mode
-		// summary below can report what actually happened.
+		// summary below can report what actually happened; the ops server
+		// renders the same registry on /metrics.
 		cfg.Metrics = telemetry.NewRegistry()
 	}
 	if resilient {
@@ -198,6 +215,22 @@ func main() {
 			Tracer: tracer,
 		}
 	}
+	var (
+		plane  *obs.Plane
+		opsSrv *obs.Server
+	)
+	if *opsAddr != "" {
+		plane = obs.NewPlane(obs.Options{
+			Snapshot: cfg.Metrics.Snapshot,
+			Tracer:   tracer,
+		})
+		cfg.StateProbe = plane.Probe
+		opsSrv, err = obs.Serve(*opsAddr, plane)
+		if err != nil {
+			fatalf("ops-addr: %v", err)
+		}
+		fmt.Fprintf(os.Stderr, "rmsim: ops server on %s (try %s/statusz)\n", opsSrv.URL(), opsSrv.URL())
+	}
 	if *cpuProfile != "" {
 		f, err := os.Create(*cpuProfile)
 		if err != nil {
@@ -215,7 +248,7 @@ func main() {
 	if err != nil {
 		fatalf("simulate: %v", err)
 	}
-	if tracer != nil {
+	if traceFile != nil {
 		// A sink write failure means the JSONL stream on disk is silently
 		// truncated; surface it rather than shipping a partial trace.
 		if err := tracer.Flush(); err != nil {
@@ -273,6 +306,28 @@ func main() {
 		lat := res.Telemetry.Histograms["sim.solver_seconds"]
 		fmt.Printf("solver latency:   p50 %.1f µs, p95 %.1f µs, max %.1f µs (%d activations)\n",
 			lat.Quantile(0.50)*1e6, lat.Quantile(0.95)*1e6, lat.Max*1e6, lat.Count)
+		c := res.Telemetry.Counters
+		if probes := c["exact.cache.hits"] + c["exact.cache.misses"]; probes > 0 {
+			fmt.Printf("feascache:        %.1f%% hit rate (%d hits, %d misses)\n",
+				100*float64(c["exact.cache.hits"])/float64(probes),
+				c["exact.cache.hits"], c["exact.cache.misses"])
+		}
+	}
+	if plane != nil {
+		rep := plane.SLO().Report()
+		fmt.Printf("slo:              rejection %.1f%% of %.0f%% budget; miss %.2g%% of %.2g%% budget\n",
+			100*rep.TotalRejectionRate, 100*rep.RejectionTarget,
+			100*rep.TotalMissRate, 100*rep.MissTarget)
+		for _, w := range rep.Windows {
+			fmt.Printf("slo window %-6g rejection burn %.2f, miss burn %.2f\n",
+				w.Window, w.RejectionBurn, w.MissBurn)
+		}
+	}
+	if tracer != nil {
+		if n := tracer.Dropped(); n > 0 {
+			fmt.Fprintf(os.Stderr,
+				"rmsim: warning: event ring overflowed, %d event(s) lost from the in-memory buffer (-trace-out streams are unaffected)\n", n)
+		}
 	}
 	if resilient && res.Telemetry != nil {
 		c := res.Telemetry.Counters
@@ -293,6 +348,15 @@ func main() {
 			if err := chart.Render(os.Stdout, 100); err != nil {
 				fatalf("render: %v", err)
 			}
+		}
+	}
+	if opsSrv != nil {
+		if *opsLinger > 0 {
+			fmt.Fprintf(os.Stderr, "rmsim: ops server lingering for %v on %s\n", *opsLinger, opsSrv.URL())
+			time.Sleep(*opsLinger)
+		}
+		if err := opsSrv.Close(); err != nil {
+			fatalf("ops-addr: %v", err)
 		}
 	}
 	if res.DeadlineMisses > 0 {

@@ -9,6 +9,7 @@
 //	tracetool csv events.jsonl                 # decision-level timeseries
 //	tracetool check events.jsonl               # replay auditor (exit 1 on violations)
 //	tracetool diff base.jsonl pred.jsonl       # deltas between two runs
+//	tracetool tail -f events.jsonl             # follow a growing trace live
 //
 // The platform's preemption kinds and resource names are not serialised
 // into traces; -cpus/-gpus (default 5/1, the paper's platform) supply
@@ -17,12 +18,16 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"strings"
+	"time"
 
 	"predrm/internal/platform"
+	"predrm/internal/telemetry"
 	"predrm/internal/traceview"
 )
 
@@ -38,6 +43,9 @@ func main() {
 		outPath = fs.String("o", "", "output file (default stdout)")
 		ganttN  = fs.Int("gantt", 100, "gantt chart columns in report (0 disables)")
 		strict  = fs.Bool("strict", false, "check: treat reader diagnostics as failures too")
+		follow  = fs.Bool("f", false, "tail: keep following the file as it grows")
+		poll    = fs.Duration("poll", traceview.DefaultPoll, "tail -f: poll interval for file growth")
+		raw     = fs.Bool("raw", false, "tail: pass events through as raw JSONL instead of formatting")
 	)
 	if err := fs.Parse(args); err != nil {
 		os.Exit(2)
@@ -113,9 +121,71 @@ func main() {
 		if err := traceview.WriteDiff(out, label(paths[0]), a, label(paths[1]), b); err != nil {
 			fatalf("diff: %v", err)
 		}
+	case "tail":
+		if err := tail(out, paths[0], *follow, *poll, *raw); err != nil {
+			fatalf("tail: %v", err)
+		}
 	default:
 		usage()
 	}
+}
+
+// tail streams the events of a (possibly still growing) trace file,
+// validating incrementally: diagnostics go to stderr as they are found,
+// events to out as they complete. With follow set it never returns on its
+// own — interrupt it like tail -f.
+func tail(out io.Writer, path string, follow bool, poll time.Duration, raw bool) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	t := traceview.NewTailer(f)
+	t.Follow = follow
+	t.Poll = poll
+	t.OnDiag = func(d traceview.Diagnostic) {
+		fmt.Fprintf(os.Stderr, "tracetool: diagnostic: %s\n", d)
+	}
+	for {
+		e, err := t.Next()
+		if err == io.EOF {
+			return nil
+		}
+		if err != nil {
+			return err
+		}
+		if raw {
+			buf, err := json.Marshal(e)
+			if err != nil {
+				return err
+			}
+			fmt.Fprintf(out, "%s\n", buf)
+		} else {
+			fmt.Fprintln(out, formatEvent(e))
+		}
+	}
+}
+
+// formatEvent renders one event as a compact fixed-layout line.
+func formatEvent(e telemetry.Event) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%8d  t=%-12.4f %-24s", e.Seq, e.T, e.Type)
+	if e.Req >= 0 {
+		fmt.Fprintf(&b, " req=%-4d", e.Req)
+	}
+	if e.Task >= 0 {
+		fmt.Fprintf(&b, " task=%-4d", e.Task)
+	}
+	if e.Res >= 0 {
+		fmt.Fprintf(&b, " res=%d", e.Res)
+	}
+	if e.Value != 0 {
+		fmt.Fprintf(&b, " value=%.4g", e.Value)
+	}
+	if e.Reason != "" {
+		fmt.Fprintf(&b, " reason=%s", e.Reason)
+	}
+	return b.String()
 }
 
 // read decodes one trace file, failing hard on I/O errors only (schema
@@ -152,12 +222,16 @@ commands:
   csv      decision-level timeseries
   check    replay auditor: verify RM invariants from the trace alone
   diff     compare two traces (e.g. predictive vs. baseline, same seed)
+  tail     stream a trace file's events; -f follows it as it grows
 
 flags (before the trace path):
   -cpus N, -gpus N   emitting platform shape (default 5/1)
   -o FILE            write output to FILE instead of stdout
   -gantt N           report chart width in columns (0 disables)
   -strict            check fails on reader diagnostics too
+  -f                 tail: follow the file as it grows (like tail -f)
+  -poll D            tail -f: growth poll interval (default 200ms)
+  -raw               tail: raw JSONL pass-through instead of formatting
 `)
 	os.Exit(2)
 }

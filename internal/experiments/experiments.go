@@ -82,6 +82,12 @@ type Config struct {
 	// of whole runs instead of an interleaving of concurrent traces; all
 	// other cells keep running in parallel.
 	Tracer *telemetry.Tracer
+	// StateProbe, when non-nil, receives sim.StateSample probes from the
+	// same telemetry-collecting cells that attach Tracer, for mounting a
+	// live introspection plane (internal/obs) over a sweep. Probe-attached
+	// cells ride the tracer's serial lane so the plane observes a coherent
+	// sequence of whole runs.
+	StateProbe func(sim.StateSample)
 }
 
 // DefaultConfig returns a laptop-scale configuration: large enough for the
@@ -275,7 +281,7 @@ func runGrid(cfg Config, tight trace.Tightness, variants []variant) (*grid, erro
 	// tracer-attached variants (variant.telemetry) go through a dedicated
 	// serial lane; every other cell stays parallel.
 	serialLane := false
-	if cfg.Tracer != nil {
+	if cfg.Tracer != nil || cfg.StateProbe != nil {
 		for _, v := range variants {
 			if v.telemetry {
 				serialLane = true
@@ -362,6 +368,7 @@ func runOne(cfg Config, plat *platform.Platform, set *task.Set, tr *trace.Trace,
 	if v.telemetry {
 		scfg.Metrics = telemetry.NewRegistry()
 		scfg.Tracer = cfg.Tracer
+		scfg.StateProbe = cfg.StateProbe
 	}
 	switch {
 	case v.online != nil:

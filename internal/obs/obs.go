@@ -1,0 +1,364 @@
+// Package obs is the live introspection plane: an embeddable ops HTTP
+// server that makes an in-flight resource-manager run observable, where
+// PR 1-2's JSONL traces and metrics snapshots are post-hoc only.
+//
+// A driver (cmd/rmsim, cmd/experiments, or a future long-running server)
+// builds a Plane around its telemetry handles and mounts it on a
+// listener:
+//
+//	plane := obs.NewPlane(obs.Options{
+//		Snapshot: reg.Snapshot, // live /metrics source
+//		Tracer:   tracer,       // /trace/tail + drop counters
+//	})
+//	cfg.StateProbe = plane.Probe // virtual-clock RM state + SLO feed
+//	srv, _ := obs.Serve(":0", plane)
+//	defer srv.Close()
+//
+// Endpoints:
+//
+//	/metrics      Prometheus text exposition of the driver's registry
+//	              snapshot merged with the plane's own slo.* and
+//	              telemetry.tracer.* instruments
+//	/healthz      liveness ("ok")
+//	/statusz      JSON RM state: in-flight jobs, per-resource occupancy
+//	              and reservations, FeasCache hit rate, solver
+//	              fallback/budget counters, tracer drop counts, SLO
+//	              burn rates
+//	/trace/tail   live structured-event stream (NDJSON; SSE with
+//	              Accept: text/event-stream or ?sse=1) from a bounded
+//	              non-blocking telemetry.Subscriber tap
+//	/debug/pprof  stdlib profiling handlers
+//
+// The plane is clocked by the simulator's virtual time, not wall time:
+// sim.Config.StateProbe hands it a StateSample at every admission
+// decision, and a Snapshotter throttles state publication to a
+// virtual-time cadence. The same plane therefore serves identically under
+// the discrete-event simulator today and under wall-clock serving later —
+// only the probe cadence changes.
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"strconv"
+	"sync/atomic"
+	"time"
+
+	"predrm/internal/sim"
+	"predrm/internal/telemetry"
+)
+
+// Options configures a Plane.
+type Options struct {
+	// Snapshot supplies the driver's live metrics for /metrics and
+	// /statusz (typically Registry.Snapshot of the run's registry). Nil
+	// is allowed: only the plane's own instruments are exposed.
+	Snapshot func() *telemetry.Snapshot
+	// Tracer is tapped by /trace/tail and read for drop counters. Nil
+	// disables tailing (the endpoint answers 503).
+	Tracer *telemetry.Tracer
+	// SLO parameterises the burn-rate tracker (zero value = defaults).
+	SLO SLOConfig
+	// SnapshotInterval throttles RM-state publication to one sample per
+	// interval of simulated time (0 publishes every probe). SLO windows
+	// always see every probe; the final end-of-run sample is always
+	// published.
+	SnapshotInterval float64
+	// TailBuffer is the default per-connection subscriber buffer for
+	// /trace/tail (0 = telemetry.DefaultSubscriberBuffer; overridable
+	// per request with ?buf=N).
+	TailBuffer int
+}
+
+// Plane is the mounted introspection state. Create with NewPlane; all
+// methods are safe for concurrent use.
+type Plane struct {
+	opts    Options
+	reg     *telemetry.Registry // plane-owned instruments (slo.*, tracer gauges)
+	slo     *SLO
+	snap    Snapshotter
+	state   atomic.Pointer[sim.StateSample]
+	started time.Time
+	mux     *http.ServeMux
+}
+
+// NewPlane builds a plane around the driver's telemetry handles.
+func NewPlane(opts Options) *Plane {
+	p := &Plane{
+		opts:    opts,
+		reg:     telemetry.NewRegistry(),
+		snap:    Snapshotter{Interval: opts.SnapshotInterval},
+		started: time.Now(),
+	}
+	p.slo = NewSLO(opts.SLO, p.reg)
+	p.mux = http.NewServeMux()
+	p.mux.HandleFunc("/", p.handleIndex)
+	p.mux.HandleFunc("/metrics", p.handleMetrics)
+	p.mux.HandleFunc("/healthz", p.handleHealthz)
+	p.mux.HandleFunc("/statusz", p.handleStatusz)
+	p.mux.HandleFunc("/trace/tail", p.handleTail)
+	p.mux.HandleFunc("/debug/pprof/", pprof.Index)
+	p.mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	p.mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	p.mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	p.mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return p
+}
+
+// Probe is the sim.Config.StateProbe hook: it feeds the SLO windows with
+// every sample and publishes the RM state on the snapshotter's
+// virtual-time cadence (always for the final Req == -1 sample).
+func (p *Plane) Probe(s sim.StateSample) {
+	p.slo.Record(s.Time, s.Requests, s.Rejected, s.Finished, s.DeadlineMisses)
+	if s.Req >= 0 && !p.snap.Due(s.Time) {
+		return
+	}
+	// The simulator may reuse the sample's backing storage; keep a copy.
+	s.Resources = append([]sim.ResourceSample(nil), s.Resources...)
+	p.state.Store(&s)
+}
+
+// SLO exposes the plane's burn-rate tracker (for end-of-run summaries).
+func (p *Plane) SLO() *SLO { return p.slo }
+
+// Handler returns the plane's HTTP handler (also usable without Serve,
+// e.g. mounted into a larger mux or an httptest server).
+func (p *Plane) Handler() http.Handler { return p.mux }
+
+// Close terminates open /trace/tail streams by closing the tracer's
+// subscribers. Call when the observed run is finished.
+func (p *Plane) Close() {
+	p.opts.Tracer.CloseSubscribers()
+}
+
+// ownSnapshot refreshes the plane-owned tracer gauges and snapshots the
+// plane registry.
+func (p *Plane) ownSnapshot() *telemetry.Snapshot {
+	if t := p.opts.Tracer; t != nil {
+		p.reg.Gauge("telemetry.tracer.dropped").Set(float64(t.Dropped()))
+		p.reg.Gauge("telemetry.tracer.fanout_dropped").Set(float64(t.FanoutDropped()))
+		p.reg.Gauge("telemetry.tracer.subscribers").Set(float64(t.Subscribers()))
+	}
+	return p.reg.Snapshot()
+}
+
+// driverSnapshot returns the driver's metrics, or nil.
+func (p *Plane) driverSnapshot() *telemetry.Snapshot {
+	if p.opts.Snapshot == nil {
+		return nil
+	}
+	return p.opts.Snapshot()
+}
+
+func (p *Plane) handleIndex(w http.ResponseWriter, r *http.Request) {
+	if r.URL.Path != "/" {
+		http.NotFound(w, r)
+		return
+	}
+	fmt.Fprint(w, `predrm ops server
+  /metrics      Prometheus text exposition
+  /healthz      liveness
+  /statusz      JSON RM state + SLO burn rates
+  /trace/tail   live event stream (NDJSON; SSE with Accept: text/event-stream)
+  /debug/pprof  profiling
+`)
+}
+
+func (p *Plane) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	fmt.Fprintln(w, "ok")
+}
+
+func (p *Plane) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	// Driver snapshot first, plane-owned second: on name collisions
+	// (telemetry.tracer.dropped is also set by sim.Run at run end) the
+	// plane's live reading wins in the merge.
+	snap := telemetry.Merge(p.driverSnapshot(), p.ownSnapshot())
+	w.Header().Set("Content-Type", ContentType)
+	if err := WritePrometheus(w, snap); err != nil {
+		// Headers are gone; all we can do is stop writing.
+		return
+	}
+}
+
+// Status is the /statusz document.
+type Status struct {
+	// UptimeSeconds is wall-clock time since the plane was built.
+	UptimeSeconds float64 `json:"uptime_seconds"`
+	// RM is the last published state sample (null before the first probe).
+	RM *sim.StateSample `json:"rm"`
+	// SLO carries the current burn-rate readings.
+	SLO SLOReport `json:"slo"`
+	// FeasCache summarises the exact solver's cross-activation pruning
+	// cache (zero when the heuristic engine is running).
+	FeasCache CacheStatus `json:"feascache"`
+	// Solver carries the resilience chain's fallback/budget counters.
+	Solver SolverStatus `json:"solver"`
+	// Tracer reports event-loss accounting for the ring and the fan-out.
+	Tracer TracerStatus `json:"tracer"`
+}
+
+// CacheStatus mirrors sched.CacheStats as exposed through telemetry.
+type CacheStatus struct {
+	Hits      int64   `json:"hits"`
+	Misses    int64   `json:"misses"`
+	HitRate   float64 `json:"hit_rate"`
+	Evictions int64   `json:"evictions"`
+}
+
+// SolverStatus aggregates solver activity and resilience counters.
+type SolverStatus struct {
+	ExactSolves     int64 `json:"exact_solves"`
+	ExactTruncated  int64 `json:"exact_truncated"`
+	Fallbacks       int64 `json:"fallbacks"`
+	StageErrors     int64 `json:"stage_errors"`
+	BudgetExhausted int64 `json:"budget_exhausted"`
+	RejectOnly      int64 `json:"reject_only"`
+}
+
+// TracerStatus reports event-loss accounting.
+type TracerStatus struct {
+	RingDropped   int64 `json:"ring_dropped"`
+	FanoutDropped int64 `json:"fanout_dropped"`
+	Subscribers   int   `json:"subscribers"`
+}
+
+// CurrentStatus assembles the /statusz document (exported for the
+// end-of-run summary and tests).
+func (p *Plane) CurrentStatus() Status {
+	st := Status{
+		UptimeSeconds: time.Since(p.started).Seconds(),
+		RM:            p.state.Load(),
+		SLO:           p.slo.Report(),
+	}
+	if snap := p.driverSnapshot(); snap != nil {
+		c := snap.Counters
+		hits, misses := c["exact.cache.hits"], c["exact.cache.misses"]
+		st.FeasCache = CacheStatus{
+			Hits:      hits,
+			Misses:    misses,
+			HitRate:   finiteOr(float64(hits)/float64(hits+misses), 0),
+			Evictions: c["exact.cache.evictions"],
+		}
+		st.Solver = SolverStatus{
+			ExactSolves:     c["exact.solves"],
+			ExactTruncated:  c["exact.truncated"],
+			Fallbacks:       c["resilience.fallbacks"],
+			StageErrors:     c["resilience.stage_errors"],
+			BudgetExhausted: c["resilience.budget_exhausted"],
+			RejectOnly:      c["resilience.reject_only"],
+		}
+	}
+	if t := p.opts.Tracer; t != nil {
+		st.Tracer = TracerStatus{
+			RingDropped:   t.Dropped(),
+			FanoutDropped: t.FanoutDropped(),
+			Subscribers:   t.Subscribers(),
+		}
+	}
+	return st
+}
+
+func (p *Plane) handleStatusz(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(p.CurrentStatus())
+}
+
+// handleTail streams live events. The subscriber is bounded and
+// non-blocking on the emitting side: a slow client loses events (counted
+// on /statusz and /metrics) instead of stalling the run.
+func (p *Plane) handleTail(w http.ResponseWriter, r *http.Request) {
+	t := p.opts.Tracer
+	if t == nil {
+		http.Error(w, "no tracer attached", http.StatusServiceUnavailable)
+		return
+	}
+	buf := p.opts.TailBuffer
+	if s := r.URL.Query().Get("buf"); s != "" {
+		n, err := strconv.Atoi(s)
+		if err != nil || n <= 0 {
+			http.Error(w, "buf must be a positive integer", http.StatusBadRequest)
+			return
+		}
+		buf = n
+	}
+	sse := r.URL.Query().Get("sse") == "1" ||
+		r.Header.Get("Accept") == "text/event-stream"
+	if sse {
+		w.Header().Set("Content-Type", "text/event-stream")
+		w.Header().Set("Cache-Control", "no-cache")
+	} else {
+		w.Header().Set("Content-Type", "application/x-ndjson")
+	}
+	w.WriteHeader(http.StatusOK)
+	flusher, _ := w.(http.Flusher)
+	if flusher != nil {
+		flusher.Flush() // commit headers before the first event arrives
+	}
+
+	sub := t.Subscribe(buf)
+	defer sub.Close()
+	enc := json.NewEncoder(w)
+	for {
+		select {
+		case e, ok := <-sub.Events():
+			if !ok {
+				return // run finished (Plane.Close)
+			}
+			if sse {
+				if _, err := fmt.Fprint(w, "data: "); err != nil {
+					return
+				}
+			}
+			if err := enc.Encode(e); err != nil {
+				return
+			}
+			if sse {
+				if _, err := fmt.Fprint(w, "\n"); err != nil {
+					return
+				}
+			}
+			if flusher != nil {
+				flusher.Flush()
+			}
+		case <-r.Context().Done():
+			return
+		}
+	}
+}
+
+// Server is a Plane bound to a listener.
+type Server struct {
+	plane *Plane
+	ln    net.Listener
+	srv   *http.Server
+}
+
+// Serve binds the plane to addr (":0" picks a free port) and serves it in
+// the background.
+func Serve(addr string, p *Plane) (*Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("obs: listen %s: %w", addr, err)
+	}
+	s := &Server{plane: p, ln: ln, srv: &http.Server{Handler: p.Handler()}}
+	go func() { _ = s.srv.Serve(ln) }()
+	return s, nil
+}
+
+// Addr returns the bound address (host:port).
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// URL returns the server's base URL.
+func (s *Server) URL() string { return "http://" + s.Addr() }
+
+// Close ends open tail streams and stops the server.
+func (s *Server) Close() error {
+	s.plane.Close()
+	return s.srv.Close()
+}

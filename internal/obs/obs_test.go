@@ -1,0 +1,347 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+
+	"predrm/internal/exact"
+	"predrm/internal/platform"
+	"predrm/internal/predict"
+	"predrm/internal/rng"
+	"predrm/internal/sim"
+	"predrm/internal/task"
+	"predrm/internal/telemetry"
+	"predrm/internal/trace"
+)
+
+// fixture builds a small deterministic simulation with the exact solver so
+// the FeasCache and solver counters the plane surfaces are live.
+func fixture(t testing.TB) (sim.Config, *trace.Trace) {
+	t.Helper()
+	plat := platform.Default()
+	tcfg := task.DefaultGenConfig()
+	tcfg.NumTypes = 20
+	set, err := task.Generate(plat, tcfg, rng.New(11))
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := trace.Generate(set, trace.GenConfig{
+		Length:           30,
+		InterarrivalMean: 0.8,
+		InterarrivalStd:  0.25,
+		Tightness:        trace.VeryTight,
+	}, rng.New(12))
+	if err != nil {
+		t.Fatal(err)
+	}
+	oracle, err := predict.NewOracle(tr, predict.OracleConfig{
+		TypeAccuracy: 1,
+		NumTypes:     set.Len(),
+		Seed:         13,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sim.Config{
+		Platform:  plat,
+		TaskSet:   set,
+		Solver:    &exact.Optimal{},
+		Predictor: oracle,
+	}, tr
+}
+
+func get(t *testing.T, url string) (*http.Response, []byte) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatalf("GET %s: %v", url, err)
+	}
+	body, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatalf("GET %s: read: %v", url, err)
+	}
+	return resp, body
+}
+
+func waitFor(t *testing.T, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatalf("timed out waiting for %s", what)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// TestOpsServerSmoke is the end-to-end acceptance check: serve a plane on
+// a random port, attach a live tail, run a simulation through it, and
+// verify every endpoint — including that /trace/tail streamed exactly the
+// bytes the JSONL sink recorded and that /statusz agrees with the run's
+// own result.
+func TestOpsServerSmoke(t *testing.T) {
+	cfg, tr := fixture(t)
+	var sink bytes.Buffer
+	tracer := telemetry.NewTracer(telemetry.TracerOptions{Sink: &sink, RingSize: 1 << 16})
+	reg := telemetry.NewRegistry()
+	cfg.Tracer = tracer
+	cfg.Metrics = reg
+	plane := NewPlane(Options{Snapshot: reg.Snapshot, Tracer: tracer})
+	cfg.StateProbe = plane.Probe
+
+	srv, err := Serve("127.0.0.1:0", plane)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	// Attach the tail before the run starts so it observes every event.
+	tailBody := make(chan []byte, 1)
+	tailErr := make(chan error, 1)
+	go func() {
+		resp, err := http.Get(srv.URL() + "/trace/tail")
+		if err != nil {
+			tailErr <- err
+			return
+		}
+		defer resp.Body.Close()
+		if ct := resp.Header.Get("Content-Type"); ct != "application/x-ndjson" {
+			tailErr <- fmt.Errorf("tail content-type %q", ct)
+			return
+		}
+		b, err := io.ReadAll(resp.Body)
+		if err != nil {
+			tailErr <- err
+			return
+		}
+		tailBody <- b
+	}()
+	waitFor(t, "tail subscriber", func() bool { return tracer.Subscribers() == 1 })
+
+	res, err := sim.Run(cfg, tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tracer.Flush(); err != nil {
+		t.Fatal(err)
+	}
+
+	// /healthz and the index.
+	resp, body := get(t, srv.URL()+"/healthz")
+	if resp.StatusCode != http.StatusOK || string(body) != "ok\n" {
+		t.Fatalf("healthz: %d %q", resp.StatusCode, body)
+	}
+	if _, body = get(t, srv.URL()+"/"); !bytes.Contains(body, []byte("/statusz")) {
+		t.Fatalf("index does not list endpoints: %q", body)
+	}
+
+	// /metrics passes the exposition validator and carries both the
+	// driver's instruments and the plane's own SLO gauges.
+	resp, body = get(t, srv.URL()+"/metrics")
+	if got := resp.Header.Get("Content-Type"); got != ContentType {
+		t.Fatalf("metrics content-type %q, want %q", got, ContentType)
+	}
+	if errs := ValidateExposition(bytes.NewReader(body)); len(errs) > 0 {
+		t.Fatalf("metrics failed validation: %v\n%s", errs, body)
+	}
+	for _, want := range []string{"exact_cache_hits", "slo_rejection_burn_w50", "telemetry_tracer_dropped", "sim_solver_seconds_bucket"} {
+		if !strings.Contains(string(body), want) {
+			t.Fatalf("metrics missing family %q:\n%s", want, body)
+		}
+	}
+
+	// /statusz agrees with the run's own result and live counters.
+	_, body = get(t, srv.URL()+"/statusz")
+	var st Status
+	if err := json.Unmarshal(body, &st); err != nil {
+		t.Fatalf("statusz: %v\n%s", err, body)
+	}
+	if st.RM == nil || st.RM.Req != -1 {
+		t.Fatalf("statusz RM sample is not the final one: %+v", st.RM)
+	}
+	if st.RM.Requests != res.Requests || st.RM.Accepted != res.Accepted || st.RM.Rejected != res.Rejected {
+		t.Fatalf("statusz counters %+v disagree with result %d/%d/%d",
+			st.RM, res.Requests, res.Accepted, res.Rejected)
+	}
+	if st.RM.InFlight != 0 {
+		t.Fatalf("drained run reports %d in-flight jobs", st.RM.InFlight)
+	}
+	if len(st.RM.Resources) != cfg.Platform.Len() {
+		t.Fatalf("statusz has %d resources, platform has %d", len(st.RM.Resources), cfg.Platform.Len())
+	}
+	snap := reg.Snapshot()
+	hits, misses := snap.Counters["exact.cache.hits"], snap.Counters["exact.cache.misses"]
+	if hits+misses == 0 {
+		t.Fatal("exact solver ran but FeasCache saw no probes")
+	}
+	if st.FeasCache.Hits != hits || st.FeasCache.Misses != misses {
+		t.Fatalf("statusz feascache %+v, registry %d/%d", st.FeasCache, hits, misses)
+	}
+	wantRate := float64(hits) / float64(hits+misses)
+	if math.Abs(st.FeasCache.HitRate-wantRate) > 1e-9 {
+		t.Fatalf("statusz hit rate %v, want %v", st.FeasCache.HitRate, wantRate)
+	}
+	wantRej := float64(res.Rejected) / float64(res.Requests)
+	if math.Abs(st.SLO.TotalRejectionRate-wantRej) > 1e-9 {
+		t.Fatalf("SLO total rejection rate %v, result %v", st.SLO.TotalRejectionRate, wantRej)
+	}
+	if res.Accepted > 0 {
+		wantMiss := float64(res.DeadlineMisses) / float64(res.Accepted)
+		if math.Abs(st.SLO.TotalMissRate-wantMiss) > 1e-9 {
+			t.Fatalf("SLO total miss rate %v, result %v", st.SLO.TotalMissRate, wantMiss)
+		}
+	}
+	if len(st.SLO.Windows) != 2 {
+		t.Fatalf("SLO windows %+v", st.SLO.Windows)
+	}
+
+	// /debug/pprof is mounted.
+	if resp, _ := get(t, srv.URL()+"/debug/pprof/"); resp.StatusCode != http.StatusOK {
+		t.Fatalf("pprof index: %d", resp.StatusCode)
+	}
+
+	// Ending the run closes the tail stream; its NDJSON body must be
+	// byte-identical to the JSONL trace the sink recorded.
+	plane.Close()
+	var streamed []byte
+	select {
+	case streamed = <-tailBody:
+	case err := <-tailErr:
+		t.Fatalf("tail: %v", err)
+	case <-time.After(5 * time.Second):
+		t.Fatal("tail stream did not terminate after plane.Close")
+	}
+	if d := tracer.FanoutDropped(); d != 0 {
+		t.Fatalf("tail dropped %d events; byte-match comparison void", d)
+	}
+	if !bytes.Equal(streamed, sink.Bytes()) {
+		t.Fatalf("tail stream (%d bytes) differs from sink trace (%d bytes)", len(streamed), len(sink.Bytes()))
+	}
+}
+
+// TestTailWithoutTracer: the endpoint must refuse cleanly when the driver
+// attached no tracer.
+func TestTailWithoutTracer(t *testing.T) {
+	plane := NewPlane(Options{})
+	srv, err := Serve("127.0.0.1:0", plane)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	resp, _ := get(t, srv.URL()+"/trace/tail")
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("tail without tracer: %d, want 503", resp.StatusCode)
+	}
+	if resp, _ := get(t, srv.URL()+"/trace/tail?buf=0"); resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("tail without tracer (buf): %d, want 503", resp.StatusCode)
+	}
+}
+
+// TestTailSSE checks the Server-Sent-Events framing.
+func TestTailSSE(t *testing.T) {
+	tracer := telemetry.NewTracer(telemetry.TracerOptions{})
+	plane := NewPlane(Options{Tracer: tracer})
+	srv, err := Serve("127.0.0.1:0", plane)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	done := make(chan []byte, 1)
+	go func() {
+		resp, err := http.Get(srv.URL() + "/trace/tail?sse=1")
+		if err != nil {
+			done <- nil
+			return
+		}
+		defer resp.Body.Close()
+		if resp.Header.Get("Content-Type") != "text/event-stream" {
+			done <- nil
+			return
+		}
+		b, _ := io.ReadAll(resp.Body)
+		done <- b
+	}()
+	waitFor(t, "sse subscriber", func() bool { return tracer.Subscribers() == 1 })
+	e := telemetry.NewEvent(1.5, telemetry.EvArrival)
+	tracer.Emit(e)
+	plane.Close()
+	body := <-done
+	if body == nil {
+		t.Fatal("sse request failed")
+	}
+	line, _ := json.Marshal(func() telemetry.Event { e.Seq = 0; return e }())
+	want := "data: " + string(line) + "\n\n"
+	if string(body) != want {
+		t.Fatalf("sse body %q, want %q", body, want)
+	}
+}
+
+// TestTailBadBuf rejects malformed ?buf values.
+func TestTailBadBuf(t *testing.T) {
+	tracer := telemetry.NewTracer(telemetry.TracerOptions{})
+	plane := NewPlane(Options{Tracer: tracer})
+	srv, err := Serve("127.0.0.1:0", plane)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	for _, q := range []string{"buf=-1", "buf=0", "buf=zebra"} {
+		if resp, _ := get(t, srv.URL()+"/trace/tail?"+q); resp.StatusCode != http.StatusBadRequest {
+			t.Fatalf("?%s: %d, want 400", q, resp.StatusCode)
+		}
+	}
+}
+
+// TestSnapshotterCadence pins the virtual-clock gate: first tick due,
+// then only after Interval elapses; Interval 0 is always due.
+func TestSnapshotterCadence(t *testing.T) {
+	s := Snapshotter{Interval: 10}
+	ticks := []struct {
+		now  float64
+		want bool
+	}{
+		{0, true}, {5, false}, {9.99, false}, {10, true}, {15, false}, {20.5, true},
+	}
+	for _, tick := range ticks {
+		if got := s.Due(tick.now); got != tick.want {
+			t.Fatalf("Due(%v) = %v, want %v", tick.now, got, tick.want)
+		}
+	}
+	always := Snapshotter{}
+	for _, now := range []float64{0, 0, 1} {
+		if !always.Due(now) {
+			t.Fatalf("zero-interval snapshotter not due at %v", now)
+		}
+	}
+}
+
+// TestPlaneProbePublishes: the final Req == -1 sample must always be
+// published even when the snapshot interval would suppress it, and the
+// published copy must not alias the caller's Resources slice.
+func TestPlaneProbePublishes(t *testing.T) {
+	plane := NewPlane(Options{SnapshotInterval: 100})
+	resources := []sim.ResourceSample{{Jobs: 1}}
+	plane.Probe(sim.StateSample{Time: 0, Req: 0, Resources: resources})
+	plane.Probe(sim.StateSample{Time: 1, Req: 1, Requests: 2, Resources: resources})
+	if got := plane.state.Load(); got.Req != 0 {
+		t.Fatalf("interval-suppressed sample was published: %+v", got)
+	}
+	plane.Probe(sim.StateSample{Time: 2, Req: -1, Requests: 2, Resources: resources})
+	got := plane.state.Load()
+	if got.Req != -1 || got.Requests != 2 {
+		t.Fatalf("final sample not published: %+v", got)
+	}
+	resources[0].Jobs = 99
+	if got.Resources[0].Jobs != 1 {
+		t.Fatal("published sample aliases the probe's Resources slice")
+	}
+}

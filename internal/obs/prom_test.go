@@ -1,0 +1,216 @@
+package obs
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"predrm/internal/telemetry"
+)
+
+var updateGolden = flag.Bool("update-golden", false, "rewrite testdata golden files")
+
+// promFixture builds a snapshot exercising every rendered shape: counters,
+// gauges (with a distinct high-water mark), a histogram with an overflow
+// observation, and a name that needs every sanitisation rule.
+func promFixture() *telemetry.Snapshot {
+	reg := telemetry.NewRegistry()
+	reg.Counter("sim.events.admit").Add(42)
+	reg.Counter("exact.solves").Add(7)
+	reg.Counter("9weird-name.pct").Inc()
+	g := reg.Gauge("exact.cache.hit_rate")
+	g.Set(0.5)
+	g.Set(0.25)
+	h := reg.Histogram("sim.solver_seconds", []float64{0.001, 0.01, 0.1})
+	for _, v := range []float64{0.0005, 0.002, 0.05, 0.05, 2} {
+		h.Observe(v)
+	}
+	return reg.Snapshot()
+}
+
+// TestWritePrometheusGolden pins the exposition output byte-for-byte.
+// Regenerate with: go test ./internal/obs -run Golden -update-golden
+func TestWritePrometheusGolden(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WritePrometheus(&buf, promFixture()); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join("testdata", "metrics.golden.prom")
+	if *updateGolden {
+		if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Fatalf("exposition differs from golden file (rerun with -update-golden to accept):\n--- got ---\n%s\n--- want ---\n%s", buf.Bytes(), want)
+	}
+}
+
+// TestWritePrometheusValidates runs the repository's own exposition
+// validator over the writer's output: the two must agree on the format.
+func TestWritePrometheusValidates(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WritePrometheus(&buf, promFixture()); err != nil {
+		t.Fatal(err)
+	}
+	if errs := ValidateExposition(bytes.NewReader(buf.Bytes())); len(errs) > 0 {
+		t.Fatalf("validator rejected writer output: %v", errs)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"_9weird_name_pct 1\n",                    // sanitised leading digit and punctuation
+		"# HELP _9weird_name_pct counter 9weird-name.pct\n", // original name preserved
+		`sim_solver_seconds_bucket{le="+Inf"} 5`,  // closing bucket covers overflow
+		"sim_solver_seconds_count 5\n",
+		"exact_cache_hit_rate 0.25\n",
+		"exact_cache_hit_rate_max 0.5\n",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestWritePrometheusNil renders nothing for a nil snapshot.
+func TestWritePrometheusNil(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WritePrometheus(&buf, nil); err != nil {
+		t.Fatal(err)
+	}
+	if buf.Len() != 0 {
+		t.Fatalf("nil snapshot rendered %q", buf.String())
+	}
+}
+
+func TestSanitizeMetricName(t *testing.T) {
+	cases := []struct{ in, want string }{
+		{"sim.solver_seconds", "sim_solver_seconds"},
+		{"exact.cache.hit_rate", "exact_cache_hit_rate"},
+		{"9lives", "_9lives"},
+		{"a-b c%d", "a_b_c_d"},
+		{"already_fine:ok", "already_fine:ok"},
+		{"", "_"},
+	}
+	for _, c := range cases {
+		if got := SanitizeMetricName(c.in); got != c.want {
+			t.Errorf("SanitizeMetricName(%q) = %q, want %q", c.in, got, c.want)
+		}
+		if got := SanitizeMetricName(c.in); !validMetricName(got) {
+			t.Errorf("SanitizeMetricName(%q) = %q is not a valid metric name", c.in, got)
+		}
+	}
+}
+
+// TestValidateExpositionRejects feeds crafted violations and checks each
+// is caught with a recognisable error.
+func TestValidateExpositionRejects(t *testing.T) {
+	cases := []struct {
+		name, in, want string
+	}{
+		{
+			"invalid name",
+			"# HELP bad.name counter x\n# TYPE bad.name counter\nbad.name 1\n",
+			"invalid metric name",
+		},
+		{
+			"missing TYPE",
+			"# HELP a counter a\na 1\n",
+			"no preceding TYPE",
+		},
+		{
+			"missing HELP",
+			"# TYPE a counter\na 1\n",
+			"no HELP",
+		},
+		{
+			"TYPE after samples",
+			"# HELP a counter a\na 1\n# TYPE a counter\n",
+			"after its samples",
+		},
+		{
+			"duplicate TYPE",
+			"# HELP a counter a\n# TYPE a counter\n# TYPE a counter\na 1\n",
+			"duplicate TYPE",
+		},
+		{
+			"unknown type keyword",
+			"# HELP a counter a\n# TYPE a exponential\na 1\n",
+			"unknown type",
+		},
+		{
+			"duplicate sample",
+			"# HELP a counter a\n# TYPE a counter\na 1\na 2\n",
+			"duplicate sample",
+		},
+		{
+			"non-cumulative buckets",
+			"# HELP h x\n# TYPE h histogram\n" +
+				`h_bucket{le="1"} 5` + "\n" + `h_bucket{le="2"} 3` + "\n" +
+				`h_bucket{le="+Inf"} 5` + "\n" + "h_sum 4\nh_count 5\n",
+			"not cumulative",
+		},
+		{
+			"non-increasing le",
+			"# HELP h x\n# TYPE h histogram\n" +
+				`h_bucket{le="2"} 1` + "\n" + `h_bucket{le="1"} 2` + "\n" +
+				`h_bucket{le="+Inf"} 2` + "\n" + "h_sum 1\nh_count 2\n",
+			"does not increase",
+		},
+		{
+			"missing +Inf bucket",
+			"# HELP h x\n# TYPE h histogram\n" +
+				`h_bucket{le="1"} 1` + "\n" + "h_sum 1\nh_count 1\n",
+			"missing closing",
+		},
+		{
+			"+Inf disagrees with count",
+			"# HELP h x\n# TYPE h histogram\n" +
+				`h_bucket{le="1"} 1` + "\n" + `h_bucket{le="+Inf"} 2` + "\n" +
+				"h_sum 1\nh_count 3\n",
+			"!= _count",
+		},
+		{
+			"histogram without count",
+			"# HELP h x\n# TYPE h histogram\n" +
+				`h_bucket{le="+Inf"} 1` + "\n" + "h_sum 1\n",
+			"missing _count",
+		},
+		{
+			"unparseable value",
+			"# HELP a counter a\n# TYPE a counter\na pony\n",
+			"bad value",
+		},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			errs := ValidateExposition(strings.NewReader(c.in))
+			if len(errs) == 0 {
+				t.Fatalf("validator accepted:\n%s", c.in)
+			}
+			for _, err := range errs {
+				if strings.Contains(err.Error(), c.want) {
+					return
+				}
+			}
+			t.Fatalf("no error mentions %q; got %v", c.want, errs)
+		})
+	}
+}
+
+// TestValidateExpositionAccepts covers legal constructs the validator
+// must not flag: free-form comments, timestamps, untyped label sets.
+func TestValidateExpositionAccepts(t *testing.T) {
+	in := "# a free-form comment\n" +
+		"# HELP up liveness\n# TYPE up gauge\n" +
+		`up{job="rm",instance="a:1"} 1 1712345678000` + "\n"
+	if errs := ValidateExposition(strings.NewReader(in)); len(errs) > 0 {
+		t.Fatalf("validator rejected legal stream: %v", errs)
+	}
+}

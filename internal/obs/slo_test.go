@@ -1,0 +1,135 @@
+package obs
+
+import (
+	"math"
+	"testing"
+
+	"predrm/internal/telemetry"
+)
+
+func approx(a, b float64) bool { return math.Abs(a-b) < 1e-9 }
+
+// TestSLOWindows checks the windowed rates and burn arithmetic against
+// hand-computed values.
+func TestSLOWindows(t *testing.T) {
+	s := NewSLO(SLOConfig{
+		RejectionTarget: 0.5,
+		MissTarget:      0.1,
+		Windows:         []float64{10},
+	}, nil)
+	s.Record(0, 0, 0, 0, 0)
+	s.Record(5, 10, 2, 4, 0)
+	s.Record(12, 20, 8, 10, 1)
+
+	rep := s.Report()
+	if !approx(rep.TotalRejectionRate, 0.4) {
+		t.Fatalf("total rejection rate %v, want 0.4", rep.TotalRejectionRate)
+	}
+	if !approx(rep.TotalMissRate, 0.1) {
+		t.Fatalf("total miss rate %v, want 0.1", rep.TotalMissRate)
+	}
+	if len(rep.Windows) != 1 {
+		t.Fatalf("got %d windows", len(rep.Windows))
+	}
+	w := rep.Windows[0]
+	// Window [2, 12]: baseline is the t=0 sample (newest at or before t=2),
+	// so the deltas cover the whole run: 8/20 rejected, 1/10 missed.
+	if !approx(w.RejectionRate, 0.4) || !approx(w.RejectionBurn, 0.8) {
+		t.Fatalf("rejection rate/burn %v/%v, want 0.4/0.8", w.RejectionRate, w.RejectionBurn)
+	}
+	if !approx(w.MissRate, 0.1) || !approx(w.MissBurn, 1.0) {
+		t.Fatalf("miss rate/burn %v/%v, want 0.1/1.0", w.MissRate, w.MissBurn)
+	}
+}
+
+// TestSLOWindowSlides verifies that samples older than the window stop
+// influencing the windowed rate while totals keep the whole history.
+func TestSLOWindowSlides(t *testing.T) {
+	s := NewSLO(SLOConfig{RejectionTarget: 0.5, Windows: []float64{10}}, nil)
+	// A burst of rejections early, then a long clean stretch.
+	s.Record(0, 10, 10, 0, 0)
+	s.Record(100, 110, 10, 0, 0)
+	rep := s.Report()
+	if !approx(rep.TotalRejectionRate, 10.0/110) {
+		t.Fatalf("total %v, want %v", rep.TotalRejectionRate, 10.0/110)
+	}
+	w := rep.Windows[0]
+	// The t=0 burst is far outside the [90, 100] window; the baseline is
+	// the burst sample itself, so the windowed delta is all-clean.
+	if !approx(w.RejectionRate, 0) || !approx(w.RejectionBurn, 0) {
+		t.Fatalf("windowed rate/burn %v/%v, want 0/0", w.RejectionRate, w.RejectionBurn)
+	}
+}
+
+// TestSLOPrunesHistory checks that old samples are discarded but one
+// boundary sample survives to anchor window deltas.
+func TestSLOPrunesHistory(t *testing.T) {
+	s := NewSLO(SLOConfig{Windows: []float64{10}}, nil)
+	for i := 0; i <= 100; i++ {
+		s.Record(float64(i), i, 0, 0, 0)
+	}
+	s.mu.Lock()
+	n := len(s.samples)
+	oldest := s.samples[0].t
+	s.mu.Unlock()
+	if n > 13 {
+		t.Fatalf("history holds %d samples after pruning, want ~window+1", n)
+	}
+	if oldest > 90 {
+		t.Fatalf("oldest retained sample t=%v; the window boundary (90) lost its anchor", oldest)
+	}
+}
+
+// TestSLOTimeRegressionResets: virtual time restarting (a new simulated
+// run in a sweep) must clear the window history instead of mixing runs.
+func TestSLOTimeRegressionResets(t *testing.T) {
+	s := NewSLO(SLOConfig{RejectionTarget: 0.5, Windows: []float64{10}}, nil)
+	s.Record(100, 50, 25, 0, 0)
+	s.Record(0, 4, 0, 0, 0) // new run: time went backwards
+	rep := s.Report()
+	if !approx(rep.TotalRejectionRate, 0) {
+		t.Fatalf("total rejection rate %v after reset, want 0 (stale run leaked)", rep.TotalRejectionRate)
+	}
+}
+
+// TestSLOGauges checks that Record publishes the per-window gauges on the
+// registry under the documented names.
+func TestSLOGauges(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	s := NewSLO(SLOConfig{RejectionTarget: 0.5, Windows: []float64{10}}, reg)
+	s.Record(0, 0, 0, 0, 0)
+	s.Record(1, 10, 5, 0, 0)
+	snap := reg.Snapshot()
+	for name, want := range map[string]float64{
+		"slo.rejection.rate_w10": 0.5,
+		"slo.rejection.burn_w10": 1.0,
+		"slo.deadline_miss.rate_w10": 0,
+		"slo.deadline_miss.burn_w10": 0,
+	} {
+		g, ok := snap.Gauges[name]
+		if !ok {
+			t.Fatalf("gauge %q not registered", name)
+		}
+		if !approx(g.Value, want) {
+			t.Errorf("gauge %q = %v, want %v", name, g.Value, want)
+		}
+	}
+}
+
+// TestSLODefaultsAndNil covers the zero-config path and the nil-receiver
+// conventions.
+func TestSLODefaultsAndNil(t *testing.T) {
+	s := NewSLO(SLOConfig{}, nil)
+	rep := s.Report()
+	if rep.RejectionTarget != 0.30 || rep.MissTarget != 0.001 {
+		t.Fatalf("defaults %v/%v, want 0.30/0.001", rep.RejectionTarget, rep.MissTarget)
+	}
+	if len(rep.Windows) != 2 || rep.Windows[0].Window != 50 || rep.Windows[1].Window != 500 {
+		t.Fatalf("default windows %v", rep.Windows)
+	}
+	var nilSLO *SLO
+	nilSLO.Record(0, 1, 1, 1, 1) // must not panic
+	if got := nilSLO.Report(); got.RejectionTarget != 0 {
+		t.Fatalf("nil SLO report %v", got)
+	}
+}

@@ -1,0 +1,35 @@
+package obs
+
+import "sync"
+
+// Snapshotter gates periodic work onto a virtual-clock cadence: Due
+// reports whether at least Interval simulated time passed since the last
+// due tick (and latches the new tick when it did). With Interval 0 every
+// tick is due. The first tick is always due.
+//
+// This is the piece that lets the introspection plane run under the
+// discrete-event simulator before wall-clock serving exists: the
+// simulator calls the plane's probe per activation, and the snapshotter
+// decides — in simulated time, deterministically — when to publish. A
+// wall-clock driver can feed it time.Since(start).Seconds() instead.
+type Snapshotter struct {
+	// Interval is the minimum simulated time between due ticks.
+	Interval float64
+
+	mu      sync.Mutex
+	started bool
+	last    float64
+}
+
+// Due latches and reports whether a snapshot is due at virtual time now.
+// Safe for concurrent use.
+func (s *Snapshotter) Due(now float64) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.started && now-s.last < s.Interval {
+		return false
+	}
+	s.started = true
+	s.last = now
+	return true
+}

@@ -91,6 +91,50 @@ type Config struct {
 	// the run; the snapshot is surfaced as Result.Telemetry. Solvers
 	// implementing telemetry.Instrumentable are attached automatically.
 	Metrics *telemetry.Registry
+	// StateProbe, when non-nil, receives a point-in-time StateSample after
+	// every admission decision and once more when the run drains — the
+	// virtual-clock hook the live introspection plane (internal/obs) mounts
+	// to publish RM state and feed SLO burn-rate windows. It is called
+	// synchronously from the event loop, so it must be fast and must not
+	// retain the sample's Resources slice beyond the call.
+	StateProbe func(StateSample)
+}
+
+// StateSample is the RM state handed to Config.StateProbe: cumulative
+// admission counters plus the current in-flight picture. Counters are
+// cumulative since the start of the run so samplers can window them.
+type StateSample struct {
+	// Time is the simulated time of the sample.
+	Time float64 `json:"time"`
+	// Req is the request index just decided, or -1 for the final
+	// end-of-run sample.
+	Req int `json:"req"`
+	// Requests counts arrivals decided so far (== Accepted + Rejected).
+	Requests int `json:"requests"`
+	// Accepted and Rejected are cumulative admission outcomes.
+	Accepted int `json:"accepted"`
+	Rejected int `json:"rejected"`
+	// Finished counts adaptive jobs that completed so far.
+	Finished int `json:"finished"`
+	// DeadlineMisses counts accepted jobs that finished late so far (0 for
+	// a sound RM).
+	DeadlineMisses int `json:"deadline_misses"`
+	// InFlight is the number of currently active jobs (adaptive and
+	// critical).
+	InFlight int `json:"in_flight"`
+	// Resources holds one entry per platform resource, indexed by id.
+	Resources []ResourceSample `json:"resources"`
+}
+
+// ResourceSample is one resource's slice of a StateSample.
+type ResourceSample struct {
+	// Jobs counts active jobs currently mapped to the resource.
+	Jobs int `json:"jobs"`
+	// Reserved counts standing reservations for predicted jobs on it.
+	Reserved int `json:"reserved"`
+	// NextDeadline is the earliest absolute deadline among the mapped
+	// jobs, or 0 when the resource is empty (JSON cannot carry +Inf).
+	NextDeadline float64 `json:"next_deadline"`
 }
 
 // ExecSegment is one contiguous piece of executed schedule: job JobID ran
@@ -252,6 +296,40 @@ type runner struct {
 	// jobs use their JobRecord), so job_finish can report consumption.
 	// Trace-only, like running.
 	critEnergy map[*sched.Job]float64
+	// finished counts completed adaptive jobs, for StateProbe samples.
+	finished int
+}
+
+// probe reports the current RM state through Config.StateProbe.
+func (r *runner) probe(req int) {
+	if r.cfg.StateProbe == nil {
+		return
+	}
+	s := StateSample{
+		Time:           r.now,
+		Req:            req,
+		Requests:       r.res.Accepted + r.res.Rejected,
+		Accepted:       r.res.Accepted,
+		Rejected:       r.res.Rejected,
+		Finished:       r.finished,
+		DeadlineMisses: r.res.DeadlineMisses,
+		InFlight:       len(r.active),
+		Resources:      make([]ResourceSample, r.cfg.Platform.Len()),
+	}
+	for _, j := range r.active {
+		if j.Resource == sched.Unmapped {
+			continue
+		}
+		rs := &s.Resources[j.Resource]
+		rs.Jobs++
+		if rs.NextDeadline == 0 || j.AbsDeadline < rs.NextDeadline {
+			rs.NextDeadline = j.AbsDeadline
+		}
+	}
+	for _, g := range r.pendingResv {
+		s.Resources[g.res].Reserved++
+	}
+	r.cfg.StateProbe(s)
 }
 
 // emitLifecycle reports a job execution transition on resource res.
@@ -603,6 +681,7 @@ func Run(cfg Config, tr *trace.Trace) (*Result, error) {
 			if err := r.replan(nil); err != nil {
 				return nil, err
 			}
+			r.probe(idx)
 			continue
 		}
 		r.res.Accepted++
@@ -652,6 +731,7 @@ func Run(cfg Config, tr *trace.Trace) (*Result, error) {
 		if err := r.replan(ghosts); err != nil {
 			return nil, err
 		}
+		r.probe(idx)
 	}
 	// Drain: run until all adaptive work finishes, serving critical
 	// releases along the way, then let already-released critical jobs run
@@ -671,11 +751,17 @@ func Run(cfg Config, tr *trace.Trace) (*Result, error) {
 	}
 	r.advance(math.Inf(1))
 	r.flushReservations()
+	r.probe(-1)
 	r.res.Jobs = r.rec
 	for _, segs := range r.exec {
 		r.res.Execution = append(r.res.Execution, segs...)
 	}
 	if cfg.Metrics != nil {
+		if cfg.Tracer != nil {
+			// Ring overwrites silently lose events; surface the count so
+			// summaries and /metrics can warn about a lossy recording.
+			cfg.Metrics.Gauge("telemetry.tracer.dropped").Set(float64(cfg.Tracer.Dropped()))
+		}
 		r.res.Telemetry = cfg.Metrics.Snapshot()
 	}
 	return r.res, nil
@@ -1036,6 +1122,7 @@ func (r *runner) reap() {
 			}
 			continue
 		}
+		r.finished++
 		rec := &r.rec[j.ID]
 		rec.FinishTime = r.now
 		if r.now > j.AbsDeadline+1e-6 {

@@ -1,0 +1,126 @@
+package telemetry
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// DefaultSubscriberBuffer bounds a subscriber's event channel when
+// Subscribe is called with a non-positive buffer size.
+const DefaultSubscriberBuffer = 4096
+
+// Subscriber is a bounded, lossy live tap on a Tracer's event stream,
+// created by Tracer.Subscribe. Events are delivered on a buffered channel;
+// when the consumer falls behind and the buffer fills, Emit drops the
+// event for that subscriber (counting it) instead of blocking — the
+// emitting hot path must never wait on an observer.
+//
+// The channel is closed by Close (or Tracer.CloseSubscribers), after which
+// no further events arrive. Dropped stays readable after Close.
+type Subscriber struct {
+	ch      chan Event
+	dropped atomic.Int64
+	t       *Tracer
+	once    sync.Once
+}
+
+// Events returns the delivery channel. It is closed when the subscriber
+// detaches (Close) or the tracer shuts its taps (CloseSubscribers).
+func (s *Subscriber) Events() <-chan Event { return s.ch }
+
+// Dropped returns how many events were discarded for this subscriber
+// because its buffer was full.
+func (s *Subscriber) Dropped() int64 { return s.dropped.Load() }
+
+// Close detaches the subscriber from its tracer and closes the event
+// channel. Safe to call more than once and concurrently with Emit.
+func (s *Subscriber) Close() {
+	if s.t != nil {
+		s.t.unsubscribe(s)
+	}
+	// The channel close must happen after detaching (emitters send only
+	// while the subscriber is in the tracer's list, under the tracer's
+	// mutex), and exactly once.
+	s.once.Do(func() { close(s.ch) })
+}
+
+// Subscribe attaches a live tap delivering every subsequent Emit to the
+// returned subscriber's channel (buffer size buf; <=0 means
+// DefaultSubscriberBuffer). Delivery is non-blocking: events that do not
+// fit the buffer are dropped and counted per subscriber and on the
+// tracer's fan-out total. A nil tracer returns nil (callers treat a nil
+// subscriber as "tracing disabled").
+func (t *Tracer) Subscribe(buf int) *Subscriber {
+	if t == nil {
+		return nil
+	}
+	if buf <= 0 {
+		buf = DefaultSubscriberBuffer
+	}
+	s := &Subscriber{ch: make(chan Event, buf), t: t}
+	t.mu.Lock()
+	t.subs = append(t.subs, s)
+	t.mu.Unlock()
+	return s
+}
+
+// unsubscribe removes s from the fan-out list.
+func (t *Tracer) unsubscribe(s *Subscriber) {
+	t.mu.Lock()
+	for i, cur := range t.subs {
+		if cur == s {
+			t.subs = append(t.subs[:i], t.subs[i+1:]...)
+			break
+		}
+	}
+	t.mu.Unlock()
+}
+
+// Subscribers returns the number of attached live taps. Nil-safe.
+func (t *Tracer) Subscribers() int {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.subs)
+}
+
+// FanoutDropped returns the total number of events dropped across all
+// subscribers (past and present) because their buffers were full.
+// Nil-safe.
+func (t *Tracer) FanoutDropped() int64 {
+	if t == nil {
+		return 0
+	}
+	return t.fanDropped.Load()
+}
+
+// CloseSubscribers detaches and closes every attached subscriber. Streams
+// reading from their channels observe end-of-stream. Nil-safe.
+func (t *Tracer) CloseSubscribers() {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	subs := t.subs
+	t.subs = nil
+	t.mu.Unlock()
+	for _, s := range subs {
+		s.once.Do(func() { close(s.ch) })
+	}
+}
+
+// fanout delivers e to every subscriber without blocking. Called by Emit
+// with t.mu held, so delivery order matches emission order and no send
+// races a Close.
+func (t *Tracer) fanout(e Event) {
+	for _, s := range t.subs {
+		select {
+		case s.ch <- e:
+		default:
+			s.dropped.Add(1)
+			t.fanDropped.Add(1)
+		}
+	}
+}

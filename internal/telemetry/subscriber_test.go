@@ -1,0 +1,173 @@
+package telemetry
+
+import (
+	"sync"
+	"testing"
+)
+
+func ev(t float64) Event { return NewEvent(t, EvArrival) }
+
+// TestSubscriberOrder verifies that a draining subscriber sees every
+// emitted event, in emission order, with the tracer-assigned sequence
+// numbers.
+func TestSubscriberOrder(t *testing.T) {
+	tr := NewTracer(TracerOptions{})
+	sub := tr.Subscribe(16)
+	for i := 0; i < 10; i++ {
+		tr.Emit(ev(float64(i)))
+	}
+	sub.Close()
+	var got int64
+	for e := range sub.Events() {
+		if e.Seq != got {
+			t.Fatalf("event %d: seq %d", got, e.Seq)
+		}
+		if e.T != float64(got) {
+			t.Fatalf("event %d: t=%v", got, e.T)
+		}
+		got++
+	}
+	if got != 10 {
+		t.Fatalf("received %d events, want 10", got)
+	}
+	if d := sub.Dropped(); d != 0 {
+		t.Fatalf("dropped %d, want 0", d)
+	}
+}
+
+// TestSubscriberNonBlockingDrop fills a tiny buffer without draining:
+// Emit must keep returning (this test would deadlock otherwise) and the
+// overflow must be counted on the subscriber and the tracer total.
+func TestSubscriberNonBlockingDrop(t *testing.T) {
+	tr := NewTracer(TracerOptions{})
+	sub := tr.Subscribe(2)
+	for i := 0; i < 10; i++ {
+		tr.Emit(ev(float64(i))) // no reader: events 2..9 overflow
+	}
+	if d := sub.Dropped(); d != 8 {
+		t.Fatalf("subscriber dropped %d, want 8", d)
+	}
+	if d := tr.FanoutDropped(); d != 8 {
+		t.Fatalf("tracer fan-out dropped %d, want 8", d)
+	}
+	sub.Close()
+	var kept []Event
+	for e := range sub.Events() {
+		kept = append(kept, e)
+	}
+	if len(kept) != 2 || kept[0].Seq != 0 || kept[1].Seq != 1 {
+		t.Fatalf("kept %v, want the first two events", kept)
+	}
+	// Ring drops are a separate ledger: nothing overflowed the ring here.
+	if d := tr.Dropped(); d != 0 {
+		t.Fatalf("ring dropped %d, want 0", d)
+	}
+}
+
+// TestSubscriberDetach checks that a closed subscriber stops receiving
+// and that emission continues unharmed for the remaining ones.
+func TestSubscriberDetach(t *testing.T) {
+	tr := NewTracer(TracerOptions{})
+	a := tr.Subscribe(16)
+	b := tr.Subscribe(16)
+	tr.Emit(ev(0))
+	a.Close()
+	a.Close() // idempotent
+	tr.Emit(ev(1))
+	if n := tr.Subscribers(); n != 1 {
+		t.Fatalf("subscribers %d, want 1", n)
+	}
+	var aGot int
+	for range a.Events() {
+		aGot++
+	}
+	if aGot != 1 {
+		t.Fatalf("closed subscriber saw %d events, want 1", aGot)
+	}
+	b.Close()
+	var bGot int
+	for range b.Events() {
+		bGot++
+	}
+	if bGot != 2 {
+		t.Fatalf("live subscriber saw %d events, want 2", bGot)
+	}
+}
+
+// TestCloseSubscribers verifies the tracer-side shutdown: every channel
+// closes, the list empties, and a later Close on a subscriber is a no-op.
+func TestCloseSubscribers(t *testing.T) {
+	tr := NewTracer(TracerOptions{})
+	a := tr.Subscribe(4)
+	b := tr.Subscribe(4)
+	tr.Emit(ev(0))
+	tr.CloseSubscribers()
+	if n := tr.Subscribers(); n != 0 {
+		t.Fatalf("subscribers %d after CloseSubscribers, want 0", n)
+	}
+	for _, sub := range []*Subscriber{a, b} {
+		var got int
+		for range sub.Events() {
+			got++
+		}
+		if got != 1 {
+			t.Fatalf("subscriber saw %d events, want 1", got)
+		}
+		sub.Close() // must not panic on the already-closed channel
+	}
+	tr.Emit(ev(1)) // no subscribers left; must not panic
+}
+
+// TestSubscriberNilSafety covers the nil-tracer conventions drivers rely
+// on: tracing disabled means every tap operation is a no-op.
+func TestSubscriberNilSafety(t *testing.T) {
+	var tr *Tracer
+	if sub := tr.Subscribe(8); sub != nil {
+		t.Fatalf("nil tracer returned subscriber %v", sub)
+	}
+	if n := tr.Subscribers(); n != 0 {
+		t.Fatalf("nil tracer has %d subscribers", n)
+	}
+	if d := tr.FanoutDropped(); d != 0 {
+		t.Fatalf("nil tracer fan-out dropped %d", d)
+	}
+	tr.CloseSubscribers()
+}
+
+// TestSubscriberConcurrent hammers the tap from several emitters while
+// subscribers attach, drain, and detach — run under -race this pins the
+// locking contract (fan-out under the tracer mutex, close-once).
+func TestSubscriberConcurrent(t *testing.T) {
+	tr := NewTracer(TracerOptions{})
+	const emitters, events = 4, 200
+	var emit, drain sync.WaitGroup
+	for g := 0; g < emitters; g++ {
+		emit.Add(1)
+		go func() {
+			defer emit.Done()
+			for i := 0; i < events; i++ {
+				tr.Emit(ev(float64(i)))
+			}
+		}()
+	}
+	for s := 0; s < 3; s++ {
+		sub := tr.Subscribe(8) // attach before CloseSubscribers can run
+		drain.Add(1)
+		go func() {
+			defer drain.Done()
+			n := 0
+			for range sub.Events() {
+				if n++; n == 50 {
+					sub.Close() // detach mid-stream, then drain the close
+				}
+			}
+		}()
+	}
+	emit.Wait()
+	tr.CloseSubscribers() // unblocks any subscriber still short of 50
+	drain.Wait()
+	total := int64(emitters * events)
+	if got := tr.Dropped() + int64(tr.Len()); got != total {
+		t.Fatalf("ring accounting: dropped+buffered = %d, want %d", got, total)
+	}
+}

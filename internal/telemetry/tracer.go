@@ -5,6 +5,7 @@ import (
 	"encoding/json"
 	"io"
 	"sync"
+	"sync/atomic"
 )
 
 // DefaultRingSize bounds the in-memory event buffer when TracerOptions
@@ -35,6 +36,10 @@ type Tracer struct {
 	dropped int64
 	bw      *bufio.Writer
 	err     error
+	// subs are the live fan-out taps (see subscriber.go); fanDropped
+	// counts events discarded across all taps because a buffer was full.
+	subs       []*Subscriber
+	fanDropped atomic.Int64
 }
 
 // NewTracer builds a tracer.
@@ -73,6 +78,9 @@ func (t *Tracer) Emit(e Event) {
 			_, err = t.bw.Write(append(line, '\n'))
 		}
 		t.err = err
+	}
+	if len(t.subs) > 0 {
+		t.fanout(e)
 	}
 }
 

@@ -1,0 +1,110 @@
+package traceview
+
+import (
+	"bufio"
+	"io"
+	"sync/atomic"
+	"time"
+
+	"predrm/internal/telemetry"
+)
+
+// DefaultPoll is how often a following Tailer re-probes its reader for
+// new data after hitting end-of-file.
+const DefaultPoll = 200 * time.Millisecond
+
+// Tailer incrementally decodes a JSONL event stream that may still be
+// growing — the `tracetool tail -f` engine. It reuses the validating
+// Decoder, so a followed stream gets the same typed diagnostics
+// (malformed lines, sequence gaps, time regressions) as a post-hoc Read.
+//
+// Partial trailing lines (the emitter's buffered writer flushes
+// mid-line) are held back until their newline arrives; in follow mode
+// end-of-file means "wait for more", re-probing every Poll.
+type Tailer struct {
+	// Follow keeps Next polling for growth at EOF instead of returning
+	// io.EOF.
+	Follow bool
+	// Poll overrides the re-probe interval (0 = DefaultPoll).
+	Poll time.Duration
+	// OnDiag, when non-nil, receives every decoder diagnostic as it is
+	// found.
+	OnDiag func(Diagnostic)
+
+	br      *bufio.Reader
+	dec     *Decoder
+	pending []byte
+	closed  atomic.Bool
+}
+
+// NewTailer wraps r. For follow mode the reader must return fresh data on
+// reads after EOF when the source grows, as *os.File does.
+func NewTailer(r io.Reader) *Tailer {
+	return &Tailer{br: bufio.NewReader(r), dec: NewDecoder()}
+}
+
+// Decoder exposes the underlying validating decoder (drop totals, line
+// count).
+func (t *Tailer) Decoder() *Decoder { return t.dec }
+
+// Close makes a blocked Next return io.EOF at its next poll. Safe to call
+// from another goroutine.
+func (t *Tailer) Close() { t.closed.Store(true) }
+
+func (t *Tailer) poll() time.Duration {
+	if t.Poll > 0 {
+		return t.Poll
+	}
+	return DefaultPoll
+}
+
+// Next returns the next decoded event. Blank and malformed lines are
+// skipped (reported through OnDiag); io.EOF means the stream ended (never
+// in follow mode unless Close was called); other errors are I/O failures.
+func (t *Tailer) Next() (telemetry.Event, error) {
+	for {
+		if t.closed.Load() {
+			return telemetry.Event{}, io.EOF
+		}
+		chunk, err := t.br.ReadBytes('\n')
+		if n := len(chunk); n > 0 && chunk[n-1] == '\n' {
+			t.pending = append(t.pending, chunk[:n-1]...)
+			e, ok := t.decodePending()
+			if ok {
+				return e, nil
+			}
+			continue
+		}
+		t.pending = append(t.pending, chunk...)
+		switch err {
+		case nil:
+			continue
+		case io.EOF:
+			if t.Follow {
+				time.Sleep(t.poll())
+				continue
+			}
+			// A trailing line without newline is still a line.
+			if len(t.pending) > 0 {
+				if e, ok := t.decodePending(); ok {
+					return e, nil
+				}
+			}
+			return telemetry.Event{}, io.EOF
+		default:
+			return telemetry.Event{}, err
+		}
+	}
+}
+
+// decodePending runs the decoder over the buffered line and clears it.
+func (t *Tailer) decodePending() (telemetry.Event, bool) {
+	e, diags, ok := t.dec.Decode(t.pending)
+	t.pending = t.pending[:0]
+	if t.OnDiag != nil {
+		for _, d := range diags {
+			t.OnDiag(d)
+		}
+	}
+	return e, ok
+}

@@ -1,0 +1,234 @@
+package traceview
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"predrm/internal/telemetry"
+)
+
+func line(t *testing.T, seq int64, at float64) []byte {
+	t.Helper()
+	e := telemetry.NewEvent(at, telemetry.EvArrival)
+	e.Seq = seq
+	buf, err := json.Marshal(e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return append(buf, '\n')
+}
+
+// TestTailerReadsWholeFile covers the non-follow mode: decode everything,
+// including a trailing line without a newline, then io.EOF.
+func TestTailerReadsWholeFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "trace.jsonl")
+	var data []byte
+	data = append(data, line(t, 0, 0)...)
+	data = append(data, line(t, 1, 1)...)
+	trailing := line(t, 2, 2)
+	data = append(data, trailing[:len(trailing)-1]...) // no final newline
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	tl := NewTailer(f)
+	var seqs []int64
+	for {
+		e, err := tl.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		seqs = append(seqs, e.Seq)
+	}
+	if len(seqs) != 3 || seqs[0] != 0 || seqs[2] != 2 {
+		t.Fatalf("decoded seqs %v, want [0 1 2]", seqs)
+	}
+}
+
+// TestTailerFollowsGrowth appends to the file while a following Tailer
+// reads it, including a write split mid-line: the partial line must be
+// held back until its remainder lands.
+func TestTailerFollowsGrowth(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "trace.jsonl")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	if _, err := f.Write(line(t, 0, 0)); err != nil {
+		t.Fatal(err)
+	}
+
+	rf, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rf.Close()
+	tl := NewTailer(rf)
+	tl.Follow = true
+	tl.Poll = time.Millisecond
+
+	type next struct {
+		e   telemetry.Event
+		err error
+	}
+	results := make(chan next, 8)
+	go func() {
+		for {
+			e, err := tl.Next()
+			results <- next{e, err}
+			if err != nil {
+				return
+			}
+		}
+	}()
+	expect := func(seq int64) {
+		t.Helper()
+		select {
+		case r := <-results:
+			if r.err != nil {
+				t.Fatalf("next: %v", r.err)
+			}
+			if r.e.Seq != seq {
+				t.Fatalf("got seq %d, want %d", r.e.Seq, seq)
+			}
+		case <-time.After(5 * time.Second):
+			t.Fatalf("timed out waiting for seq %d", seq)
+		}
+	}
+	expect(0)
+
+	// Grow the file: one whole line, then a line split across two writes.
+	if _, err := f.Write(line(t, 1, 1)); err != nil {
+		t.Fatal(err)
+	}
+	expect(1)
+	split := line(t, 2, 2)
+	if _, err := f.Write(split[:5]); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case r := <-results:
+		t.Fatalf("partial line produced an event: %+v", r)
+	case <-time.After(20 * time.Millisecond):
+	}
+	if _, err := f.Write(split[5:]); err != nil {
+		t.Fatal(err)
+	}
+	expect(2)
+
+	// Close unblocks the follower with io.EOF.
+	tl.Close()
+	select {
+	case r := <-results:
+		if r.err != io.EOF {
+			t.Fatalf("after Close: %v, want io.EOF", r.err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Close did not unblock Next")
+	}
+}
+
+// TestTailerDiagnostics routes decoder findings through OnDiag while the
+// stream keeps going: a malformed line is skipped, a sequence gap is
+// reported and counted as dropped.
+func TestTailerDiagnostics(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "trace.jsonl")
+	var data []byte
+	data = append(data, line(t, 0, 0)...)
+	data = append(data, []byte("{not json\n")...)
+	data = append(data, line(t, 5, 1)...) // gap: 1..4 missing
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	tl := NewTailer(f)
+	var kinds []DiagKind
+	tl.OnDiag = func(d Diagnostic) { kinds = append(kinds, d.Kind) }
+	var seqs []int64
+	for {
+		e, err := tl.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		seqs = append(seqs, e.Seq)
+	}
+	if len(seqs) != 2 || seqs[0] != 0 || seqs[1] != 5 {
+		t.Fatalf("decoded seqs %v, want [0 5]", seqs)
+	}
+	wantKinds := []DiagKind{DiagMalformedLine, DiagSequenceGap}
+	if len(kinds) != len(wantKinds) {
+		t.Fatalf("diagnostics %v, want %v", kinds, wantKinds)
+	}
+	for i := range kinds {
+		if kinds[i] != wantKinds[i] {
+			t.Fatalf("diagnostic %d is %v, want %v", i, kinds[i], wantKinds[i])
+		}
+	}
+	if d := tl.Decoder().Dropped(); d != 4 {
+		t.Fatalf("dropped %d, want 4", d)
+	}
+}
+
+// TestDecoderMatchesRead pins the refactor: feeding a stream through the
+// incremental Decoder line by line must produce exactly what Read does.
+func TestDecoderMatchesRead(t *testing.T) {
+	var data []byte
+	data = append(data, line(t, 0, 0)...)
+	data = append(data, []byte("garbage\n")...)
+	data = append(data, line(t, 3, 2)...)
+	data = append(data, line(t, 4, 1)...) // time regression
+
+	whole, err := Read(bytes.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	dec := NewDecoder()
+	var events []telemetry.Event
+	var diags []Diagnostic
+	start := 0
+	for i := 0; i < len(data); i++ {
+		if data[i] != '\n' {
+			continue
+		}
+		e, ds, ok := dec.Decode(data[start:i])
+		diags = append(diags, ds...)
+		if ok {
+			events = append(events, e)
+		}
+		start = i + 1
+	}
+	if len(events) != len(whole.Events) {
+		t.Fatalf("decoder %d events, Read %d", len(events), len(whole.Events))
+	}
+	if len(diags) != len(whole.Diags) {
+		t.Fatalf("decoder diags %v, Read %v", diags, whole.Diags)
+	}
+	for i := range diags {
+		if diags[i] != whole.Diags[i] {
+			t.Fatalf("diag %d: %v vs %v", i, diags[i], whole.Diags[i])
+		}
+	}
+	if dec.Dropped() != whole.Dropped {
+		t.Fatalf("dropped %d vs %d", dec.Dropped(), whole.Dropped)
+	}
+}

@@ -105,61 +105,90 @@ var knownTypes = func() map[telemetry.EventType]bool {
 	return m
 }()
 
+// Decoder validates a JSONL event stream one line at a time, carrying the
+// cross-line state (line numbers, sequence and time continuity) between
+// calls. Read wraps it for whole files; the tracetool tail follower feeds
+// it incrementally as a trace file grows.
+type Decoder struct {
+	line    int
+	prevSeq int64
+	prevT   float64
+	dropped int64
+}
+
+// NewDecoder returns a decoder at the start of a stream.
+func NewDecoder() *Decoder {
+	return &Decoder{prevSeq: -1, prevT: math.Inf(-1)}
+}
+
+// Dropped totals the events lost to sequence gaps seen so far.
+func (d *Decoder) Dropped() int64 { return d.dropped }
+
+// Line returns the number of lines consumed so far.
+func (d *Decoder) Line() int { return d.line }
+
+// Decode validates one raw line. ok reports whether e holds a decoded
+// event (blank and malformed lines yield ok == false); diags lists any
+// findings for the line, in the same typed form Read accumulates.
+func (d *Decoder) Decode(raw []byte) (e telemetry.Event, diags []Diagnostic, ok bool) {
+	d.line++
+	if len(raw) == 0 {
+		return telemetry.Event{}, nil, false
+	}
+	if err := json.Unmarshal(raw, &e); err != nil {
+		return telemetry.Event{}, []Diagnostic{{
+			Line: d.line, Seq: -1, Kind: DiagMalformedLine, Detail: err.Error(),
+		}}, false
+	}
+	if !knownTypes[e.Type] {
+		diags = append(diags, Diagnostic{
+			Line: d.line, Seq: e.Seq, Kind: DiagUnknownEventType,
+			Detail: fmt.Sprintf("event type %q is not in the schema", e.Type),
+		})
+	}
+	switch {
+	case e.Seq > d.prevSeq+1:
+		missing := e.Seq - d.prevSeq - 1
+		d.dropped += missing
+		diags = append(diags, Diagnostic{
+			Line: d.line, Seq: e.Seq, Kind: DiagSequenceGap,
+			Detail: fmt.Sprintf("%d event(s) missing before seq %d (ring drop or truncation)", missing, e.Seq),
+		})
+	case e.Seq <= d.prevSeq:
+		diags = append(diags, Diagnostic{
+			Line: d.line, Seq: e.Seq, Kind: DiagSequenceRegression,
+			Detail: fmt.Sprintf("seq %d follows seq %d", e.Seq, d.prevSeq),
+		})
+	}
+	if e.T < d.prevT-timeEps {
+		diags = append(diags, Diagnostic{
+			Line: d.line, Seq: e.Seq, Kind: DiagTimeRegression,
+			Detail: fmt.Sprintf("t=%.6f follows t=%.6f", e.T, d.prevT),
+		})
+	}
+	d.prevSeq = e.Seq
+	d.prevT = e.T
+	return e, diags, true
+}
+
 // Read decodes a JSONL event stream. It returns an error only for I/O
 // failures; content problems become typed diagnostics on the result.
 func Read(r io.Reader) (*Decoded, error) {
 	d := &Decoded{}
+	dec := NewDecoder()
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
-	line := 0
-	prevSeq := int64(-1)
-	prevT := math.Inf(-1)
 	for sc.Scan() {
-		line++
-		raw := sc.Bytes()
-		if len(raw) == 0 {
-			continue
+		e, diags, ok := dec.Decode(sc.Bytes())
+		d.Diags = append(d.Diags, diags...)
+		if ok {
+			d.Events = append(d.Events, e)
 		}
-		var e telemetry.Event
-		if err := json.Unmarshal(raw, &e); err != nil {
-			d.Diags = append(d.Diags, Diagnostic{
-				Line: line, Seq: -1, Kind: DiagMalformedLine, Detail: err.Error(),
-			})
-			continue
-		}
-		if !knownTypes[e.Type] {
-			d.Diags = append(d.Diags, Diagnostic{
-				Line: line, Seq: e.Seq, Kind: DiagUnknownEventType,
-				Detail: fmt.Sprintf("event type %q is not in the schema", e.Type),
-			})
-		}
-		switch {
-		case e.Seq > prevSeq+1:
-			missing := e.Seq - prevSeq - 1
-			d.Dropped += missing
-			d.Diags = append(d.Diags, Diagnostic{
-				Line: line, Seq: e.Seq, Kind: DiagSequenceGap,
-				Detail: fmt.Sprintf("%d event(s) missing before seq %d (ring drop or truncation)", missing, e.Seq),
-			})
-		case e.Seq <= prevSeq:
-			d.Diags = append(d.Diags, Diagnostic{
-				Line: line, Seq: e.Seq, Kind: DiagSequenceRegression,
-				Detail: fmt.Sprintf("seq %d follows seq %d", e.Seq, prevSeq),
-			})
-		}
-		if e.T < prevT-timeEps {
-			d.Diags = append(d.Diags, Diagnostic{
-				Line: line, Seq: e.Seq, Kind: DiagTimeRegression,
-				Detail: fmt.Sprintf("t=%.6f follows t=%.6f", e.T, prevT),
-			})
-		}
-		prevSeq = e.Seq
-		prevT = e.T
-		d.Events = append(d.Events, e)
 	}
 	if err := sc.Err(); err != nil {
 		return nil, fmt.Errorf("traceview: read: %w", err)
 	}
+	d.Dropped = dec.Dropped()
 	return d, nil
 }
 
