@@ -1,16 +1,30 @@
 GO ?= go
+GOFMT ?= gofmt
 
-.PHONY: check build test vet race bench benchcheck tracecheck faultcheck obscheck
+.PHONY: check build test vet fmtcheck race bench benchcheck tracecheck faultcheck obscheck explaincheck
 
-# check is the repo gate: vet, build everything, run the full test suite
-# under the race detector (the telemetry layer and the parallel exact
-# solver are concurrency-safe by contract — internal/exact's differential
-# and budget-exhaustion tests ride under race here), audit the golden
-# trace with the replay checker, gate the hot-path benchmarks against the
-# committed baseline (skip: BENCHCHECK=0), smoke the fault-injection
-# resilience path (skip: FAULTCHECK=0), and exercise the live
-# introspection plane end to end (skip: OBSCHECK=0).
-check: vet build race tracecheck benchcheck faultcheck obscheck
+# check is the repo gate: vet, formatting, build everything, run the full
+# test suite under the race detector (the telemetry layer and the parallel
+# exact solver are concurrency-safe by contract — internal/exact's
+# differential and budget-exhaustion tests ride under race here), audit
+# the golden trace with the replay checker, gate the hot-path benchmarks
+# against the committed baseline (skip: BENCHCHECK=0), smoke the
+# fault-injection resilience path (skip: FAULTCHECK=0), exercise the live
+# introspection plane end to end (skip: OBSCHECK=0), and exercise the
+# decision-provenance plane (skip: EXPLAINCHECK=0).
+check: vet fmtcheck build race tracecheck benchcheck faultcheck obscheck explaincheck
+
+# fmtcheck fails when any Go file is not gofmt-formatted (gofmt -l output
+# is the offending file list).
+fmtcheck:
+	@unformatted=$$($(GOFMT) -l .); \
+	if [ -n "$$unformatted" ]; then \
+		echo "fmtcheck: gofmt needed on:"; \
+		echo "$$unformatted"; \
+		exit 1; \
+	else \
+		echo "fmtcheck: ok"; \
+	fi
 
 build:
 	$(GO) build ./...
@@ -71,6 +85,22 @@ obscheck:
 	@if [ "$(OBSCHECK)" = "0" ]; then \
 		echo "obscheck: skipped (OBSCHECK=0)"; \
 	else \
-		$(GO) test -race -run 'Subscriber|Prometheus|ValidateExposition|SLO|Tailer|Decoder|OpsServer|Tail|Snapshotter|PlaneProbe' \
+		$(GO) test -race -run 'Subscriber|Prometheus|ValidateExposition|SLO|Tailer|Decoder|OpsServer|Tail|Snapshotter|PlaneProbe|Explainz' \
 			./internal/telemetry/ ./internal/obs/ ./internal/traceview/; \
+	fi
+
+# explaincheck exercises the decision-provenance plane: the recorder's
+# arena and attempt-stamping semantics, the enumerated reason vocabulary,
+# per-candidate feasibility verdicts and solver-chain hops from the
+# heuristic/exact/chain solvers, decision events end to end through the
+# simulator and the golden trace's reconstructed narratives, and the
+# meta-test that keeps every -run gate in this Makefile selecting real
+# tests. Set EXPLAINCHECK=0 to skip.
+EXPLAINCHECK ?= 1
+explaincheck:
+	@if [ "$(EXPLAINCHECK)" = "0" ]; then \
+		echo "explaincheck: skipped (EXPLAINCHECK=0)"; \
+	else \
+		$(GO) test -run 'Explain|Provenance|Reason|DecisionEvent|GateRegex|UnknownReason' \
+			./internal/telemetry/ ./internal/core/ ./internal/sched/ ./internal/sim/ ./internal/traceview/ ./internal/meta/; \
 	fi

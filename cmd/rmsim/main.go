@@ -15,11 +15,14 @@
 // JSONL (see the README's Observability section for the schema),
 // -metrics-out writes the run's metrics snapshot as JSON and prints a
 // solver-latency summary, and -cpuprofile/-memprofile write runtime/pprof
-// profiles of the simulation. -ops-addr mounts the live introspection
-// plane (internal/obs) for the duration of the run: /metrics in
-// Prometheus exposition format, /statusz JSON RM state with SLO burn
-// rates, /trace/tail live event streaming, and /debug/pprof; -ops-linger
-// keeps it up after the run so the end state can be inspected.
+// profiles of the simulation. -provenance records each admission
+// decision's full causal chain into the event stream (decision events;
+// inspect with `tracetool explain` or the ops server's /explainz).
+// -ops-addr mounts the live introspection plane (internal/obs) for the
+// duration of the run: /metrics in Prometheus exposition format, /statusz
+// JSON RM state with SLO burn rates, /explainz decision narratives,
+// /trace/tail live event streaming, and /debug/pprof; -ops-linger keeps
+// it up after the run so the end state can be inspected.
 package main
 
 import (
@@ -29,7 +32,9 @@ import (
 	"os"
 	"runtime"
 	"runtime/pprof"
+	"sort"
 	"strconv"
+	"strings"
 	"time"
 
 	"predrm/internal/core"
@@ -69,6 +74,7 @@ func main() {
 		faultPlan    = flag.String("fault-plan", "", "deterministic fault plan, e.g. seed=7,solver-error=0.2,latency-rate=0.1,latency=0.5 (see internal/faultinject); enables the fallback chain")
 
 		traceOut   = flag.String("trace-out", "", "write the structured event stream as JSONL to this file")
+		provOn     = flag.Bool("provenance", false, "record decision provenance (per-candidate verdicts, solver-chain hops) into the event stream; requires -trace-out or -ops-addr")
 		metricsOut = flag.String("metrics-out", "", "write the metrics snapshot as JSON to this file")
 		opsAddr    = flag.String("ops-addr", "", "serve the live introspection plane (/metrics, /statusz, /trace/tail, pprof) on this address (:0 picks a free port)")
 		opsLinger  = flag.Duration("ops-linger", 0, "keep the ops server up this long after the run finishes (requires -ops-addr)")
@@ -180,6 +186,12 @@ func main() {
 		// -trace-out a ring-only tracer backs /trace/tail.
 		tracer = telemetry.NewTracer(telemetry.TracerOptions{})
 		cfg.Tracer = tracer
+	}
+	if *provOn {
+		if tracer == nil {
+			fatalf("-provenance has no effect without -trace-out or -ops-addr (decision records ride the event stream)")
+		}
+		cfg.Provenance = true
 	}
 	resilient := *solverBudget != "" || *faultPlan != ""
 	if *metricsOut != "" || resilient || *opsAddr != "" {
@@ -303,6 +315,10 @@ func main() {
 	fmt.Printf("makespan:         %.2f\n", res.MakeSpan)
 	fmt.Printf("deadline misses:  %d\n", res.DeadlineMisses)
 	if res.Telemetry != nil {
+		printReasonLine("admit reasons:    ", res.Telemetry.Counters, "sim.admit_reason.")
+		printReasonLine("reject reasons:   ", res.Telemetry.Counters, "sim.reject_reason.")
+	}
+	if res.Telemetry != nil {
 		lat := res.Telemetry.Histograms["sim.solver_seconds"]
 		fmt.Printf("solver latency:   p50 %.1f µs, p95 %.1f µs, max %.1f µs (%d activations)\n",
 			lat.Quantile(0.50)*1e6, lat.Quantile(0.95)*1e6, lat.Max*1e6, lat.Count)
@@ -420,6 +436,27 @@ func parseBudget(s string) (core.Budget, error) {
 		return core.Budget{}, fmt.Errorf("wall budget %v must be positive", d)
 	}
 	return core.Budget{Wall: d}, nil
+}
+
+// printReasonLine renders one decision-reason histogram ("plain 12,
+// prediction_dropped 3") from the counters under prefix, sorted by reason;
+// nothing is printed when the histogram is empty.
+func printReasonLine(label string, counters map[string]int64, prefix string) {
+	var reasons []string
+	for name := range counters {
+		if strings.HasPrefix(name, prefix) {
+			reasons = append(reasons, strings.TrimPrefix(name, prefix))
+		}
+	}
+	if len(reasons) == 0 {
+		return
+	}
+	sort.Strings(reasons)
+	parts := make([]string, len(reasons))
+	for i, r := range reasons {
+		parts[i] = fmt.Sprintf("%s %d", r, counters[prefix+r])
+	}
+	fmt.Printf("%s%s\n", label, strings.Join(parts, ", "))
 }
 
 // flagWasSet reports whether the named flag was given explicitly on the

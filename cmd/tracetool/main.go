@@ -9,6 +9,8 @@
 //	tracetool csv events.jsonl                 # decision-level timeseries
 //	tracetool check events.jsonl               # replay auditor (exit 1 on violations)
 //	tracetool diff base.jsonl pred.jsonl       # deltas between two runs
+//	tracetool explain 7 events.jsonl           # why was request 7 admitted/rejected?
+//	tracetool explain all events.jsonl         # narrate every rejection
 //	tracetool tail -f events.jsonl             # follow a growing trace live
 //
 // The platform's preemption kinds and resource names are not serialised
@@ -23,6 +25,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"strconv"
 	"strings"
 	"time"
 
@@ -57,10 +60,17 @@ func main() {
 
 	paths := fs.Args()
 	want := 1
-	if cmd == "diff" {
+	switch cmd {
+	case "diff":
+		want = 2
+	case "explain":
+		// explain takes <req-id|all> <trace>; the id is split off below.
 		want = 2
 	}
 	if len(paths) != want {
+		if cmd == "explain" {
+			fatalf("explain takes <req-id|all> <trace.jsonl>, got %d argument(s)", len(paths))
+		}
 		fatalf("%s takes %d trace file(s), got %d", cmd, want, len(paths))
 	}
 
@@ -120,6 +130,34 @@ func main() {
 		b := traceview.BuildTimeline(read(paths[1])).Summarize()
 		if err := traceview.WriteDiff(out, label(paths[0]), a, label(paths[1]), b); err != nil {
 			fatalf("diff: %v", err)
+		}
+	case "explain":
+		tl := traceview.BuildTimeline(read(paths[1]))
+		var reqs []int
+		if paths[0] == "all" {
+			reqs = tl.RejectedRequests()
+			if len(reqs) == 0 {
+				fmt.Fprintln(out, "no rejected requests in the trace")
+				return
+			}
+		} else {
+			req, err := strconv.Atoi(paths[0])
+			if err != nil {
+				fatalf("explain: request id %q is not a number (or \"all\")", paths[0])
+			}
+			reqs = []int{req}
+		}
+		for i, req := range reqs {
+			if i > 0 {
+				fmt.Fprintln(out)
+			}
+			x, err := traceview.Explain(tl, req)
+			if err != nil {
+				fatalf("explain: %v", err)
+			}
+			if err := traceview.WriteExplanation(out, x); err != nil {
+				fatalf("explain: %v", err)
+			}
 		}
 	case "tail":
 		if err := tail(out, paths[0], *follow, *poll, *raw); err != nil {
@@ -222,6 +260,9 @@ commands:
   csv      decision-level timeseries
   check    replay auditor: verify RM invariants from the trace alone
   diff     compare two traces (e.g. predictive vs. baseline, same seed)
+  explain  narrate one request's admission decision from its provenance
+           record ("explain all" narrates every rejection); record the
+           trace with provenance on (rmsim -provenance) for full detail
   tail     stream a trace file's events; -f follows it as it grows
 
 flags (before the trace path):

@@ -121,10 +121,15 @@ type BudgetedSolver struct {
 	mFallbacks, mRejectOnly *telemetry.Counter
 	mExhausted, mErrors     *telemetry.Counter
 	hDepth, hNodes          *telemetry.Histogram
+
+	// prov, when attached, records one StageHop per chain attempt with the
+	// stage's outcome, error text, and node/wall spend.
+	prov *telemetry.ProvRecorder
 }
 
 var _ Solver = (*BudgetedSolver)(nil)
 var _ telemetry.Instrumentable = (*BudgetedSolver)(nil)
+var _ telemetry.ProvenanceAware = (*BudgetedSolver)(nil)
 
 // AttachMetrics registers the chain's degraded-mode instruments on reg —
 // counters resilience.fallbacks, resilience.reject_only,
@@ -146,15 +151,32 @@ func (b *BudgetedSolver) AttachMetrics(reg *telemetry.Registry) {
 	}
 }
 
+// AttachProvenance installs the decision-provenance recorder and forwards
+// it to every stage solver that is ProvenanceAware, so one recorder
+// collects the whole chain's causal record.
+func (b *BudgetedSolver) AttachProvenance(rec *telemetry.ProvRecorder) {
+	b.prov = rec
+	for _, st := range b.Stages {
+		if pa, ok := st.Solver.(telemetry.ProvenanceAware); ok {
+			pa.AttachProvenance(rec)
+		}
+	}
+}
+
 // Solve runs the chain on p. It never fails: the worst outcome is the
 // reject-only decision.
 func (b *BudgetedSolver) Solve(p *sched.Problem) Decision {
+	recording := b.prov.Enabled()
 	for si, st := range b.Stages {
 		ba, bounded := st.Solver.(BudgetAware)
 		if bounded {
 			ba.ApplyBudget(b.Budget)
 		}
-		d, err := attempt(st.Solver, p)
+		var stageStart time.Time
+		if recording {
+			stageStart = time.Now()
+		}
+		d, err, panicked := attempt(st.Solver, p)
 		var use BudgetUse
 		if bounded {
 			use = ba.BudgetUsed()
@@ -163,16 +185,36 @@ func (b *BudgetedSolver) Solve(p *sched.Problem) Decision {
 				b.mExhausted.Inc()
 			}
 		}
+		hop := telemetry.StageHop{Stage: si, Name: st.Name, Nodes: use.Nodes}
+		if recording {
+			hop.WallNs = time.Since(stageStart).Nanoseconds()
+		}
 		switch {
 		case err != nil:
 			b.mErrors.Inc()
-			b.fellThrough(p, si+1, "error")
+			reason := telemetry.ReasonError
+			if panicked {
+				reason = telemetry.ReasonPanic
+			}
+			if recording {
+				hop.Outcome, hop.Err = reason, err.Error()
+				b.prov.Stage(hop)
+			}
+			b.fellThrough(p, si+1, reason)
 			continue
 		case use.Exhausted && !d.Feasible:
 			// The budget ran out before any incumbent was found; a deeper
 			// (cheaper, bounded) stage may still admit.
-			b.fellThrough(p, si+1, "budget")
+			if recording {
+				hop.Outcome = telemetry.StageBudget
+				b.prov.Stage(hop)
+			}
+			b.fellThrough(p, si+1, telemetry.ReasonBudget)
 			continue
+		}
+		if recording {
+			hop.Outcome = telemetry.StageServed
+			b.prov.Stage(hop)
 		}
 		b.hDepth.Observe(float64(si))
 		return d
@@ -180,7 +222,12 @@ func (b *BudgetedSolver) Solve(p *sched.Problem) Decision {
 	// The whole chain failed: degrade to reject-only.
 	b.mRejectOnly.Inc()
 	b.hDepth.Observe(float64(len(b.Stages)))
-	b.emit(p, len(b.Stages), "reject_only")
+	if recording {
+		b.prov.Stage(telemetry.StageHop{
+			Stage: len(b.Stages), Outcome: telemetry.StageRejectOnly,
+		})
+	}
+	b.emit(p, len(b.Stages), telemetry.ReasonRejectOnly)
 	return rejectAll(p)
 }
 
@@ -207,17 +254,20 @@ func (b *BudgetedSolver) emit(p *sched.Problem, to int, reason string) {
 }
 
 // attempt runs one stage, converting errors and panics into a Go error so
-// the chain can absorb them.
-func attempt(s Solver, p *sched.Problem) (d Decision, err error) {
+// the chain can absorb them. panicked distinguishes a recovered panic from
+// an ordinary solver error for the fallback reason vocabulary.
+func attempt(s Solver, p *sched.Problem) (d Decision, err error, panicked bool) {
 	defer func() {
 		if r := recover(); r != nil {
 			err = fmt.Errorf("core: solver panicked: %v", r)
+			panicked = true
 		}
 	}()
 	if fs, ok := s.(FallibleSolver); ok {
-		return fs.SolveChecked(p)
+		d, err = fs.SolveChecked(p)
+		return d, err, false
 	}
-	return s.Solve(p), nil
+	return s.Solve(p), nil, false
 }
 
 // arrivingID returns the trace id of the arriving request in p — the
@@ -240,17 +290,29 @@ func arrivingID(p *sched.Problem) int {
 // BudgetedSolver to absorb failures into graceful degradation instead.
 // For plain solvers it behaves exactly like Admit.
 func AdmitChecked(s Solver, p *sched.Problem) (d Decision, admitted bool, err error) {
+	return AdmitProv(s, p, nil)
+}
+
+// AdmitProv is AdmitChecked with decision-provenance recording: each
+// protocol attempt (the Sec 4.1 drop-a-prediction loop) is opened on rec
+// before its solve and closed with the solve's outcome, so candidate
+// verdicts and chain hops recorded by the solver are stamped with the
+// attempt that produced them. A nil rec records nothing.
+func AdmitProv(s Solver, p *sched.Problem, rec *telemetry.ProvRecorder) (d Decision, admitted bool, err error) {
 	fs, fallible := s.(FallibleSolver)
 	cur := p
 	for {
+		rec.BeginAttempt(len(cur.Jobs), countPredicted(cur.Jobs))
 		if fallible {
 			d, err = fs.SolveChecked(cur)
 			if err != nil {
+				rec.EndAttempt(false, 0)
 				return Decision{}, false, err
 			}
 		} else {
 			d = s.Solve(cur)
 		}
+		rec.EndAttempt(d.Feasible, d.Energy)
 		if d.Feasible {
 			return inflate(p, cur, d), true, nil
 		}
@@ -266,4 +328,15 @@ func AdmitChecked(s Solver, p *sched.Problem) (d Decision, admitted bool, err er
 		}
 		cur = cur.Without(drop)
 	}
+}
+
+// countPredicted counts the predicted planning jobs in jobs.
+func countPredicted(jobs []*sched.Job) int {
+	n := 0
+	for _, j := range jobs {
+		if j.Predicted {
+			n++
+		}
+	}
+	return n
 }

@@ -65,6 +65,11 @@ type Heuristic struct {
 	solves, infeasible *telemetry.Counter
 	problemJobs        *telemetry.Histogram
 
+	// prov, when attached, records candidate feasibility verdicts and the
+	// regret placement order (nil-safe no-op otherwise; the hot path pays
+	// one nil check).
+	prov *telemetry.ProvRecorder
+
 	// Per-solve state, valid between the top of Solve and its return.
 	p *sched.Problem
 	n int // p.Platform.Len()
@@ -87,6 +92,7 @@ type Heuristic struct {
 
 var _ Solver = (*Heuristic)(nil)
 var _ telemetry.Instrumentable = (*Heuristic)(nil)
+var _ telemetry.ProvenanceAware = (*Heuristic)(nil)
 
 // AttachMetrics registers the heuristic's instruments on reg: counters
 // core.solves and core.infeasible, histogram core.problem_jobs.
@@ -95,6 +101,13 @@ func (h *Heuristic) AttachMetrics(reg *telemetry.Registry) {
 	h.infeasible = reg.Counter("core.infeasible")
 	h.problemJobs = reg.Histogram("core.problem_jobs", telemetry.CountBuckets)
 }
+
+// AttachProvenance installs the decision-provenance recorder
+// (telemetry.ProvenanceAware). While attached, Solve records one
+// CandidateVerdict per (job, resource) consideration — with the tightest
+// slack and broken deadline of failed EDF probes — and one PickStep per
+// max-regret placement.
+func (h *Heuristic) AttachProvenance(rec *telemetry.ProvRecorder) { h.prov = rec }
 
 // grow sizes the arena for m jobs on n resources, reusing prior capacity.
 func (h *Heuristic) grow(m, n int) {
@@ -192,14 +205,14 @@ func (h *Heuristic) Solve(p *sched.Problem) Decision {
 		if h.Greedy {
 			pick = 0
 			if h.feasCount[unassigned[0]] == 0 {
-				return h.fail(mapping)
+				return h.fail(mapping, unassigned[0])
 			}
 		} else {
 			dStar := math.Inf(-1)
 			for u, ji := range unassigned {
 				if h.feasCount[ji] == 0 {
 					// Line 22: no solution.
-					return h.fail(mapping)
+					return h.fail(mapping, ji)
 				}
 				d := h.second[ji] - h.best[ji] // +Inf when |F_j| == 1 (line 14)
 				if d > dStar {
@@ -220,6 +233,7 @@ func (h *Heuristic) Solve(p *sched.Problem) Decision {
 				ps = append(ps, r)
 			}
 		}
+		recording := h.prov.Enabled()
 		placed := false
 		for len(ps) > 0 {
 			bi, bf := -1, math.Inf(1)
@@ -233,10 +247,44 @@ func (h *Heuristic) Solve(p *sched.Problem) Decision {
 			// success the entry is already final, on failure it is backed
 			// out and the next resource tried.
 			pos := h.insertEntry(jobIdx, r)
-			if h.lists[r].Feasible(p.Platform.Resource(r).Preemptable(), p.Time, &h.edf) {
+			preempt := p.Platform.Resource(r).Preemptable()
+			var ok bool
+			if recording {
+				// Explain-mode probe: same verdict, plus the tightest
+				// slack and the deadline that broke.
+				fv := h.lists[r].FeasibleExplain(preempt, p.Time)
+				ok = fv.Feasible
+				cv := telemetry.CandidateVerdict{
+					Job: jobs[jobIdx].ID, Res: r, Des: bf,
+					Slack: fv.Slack, Preempt: preempt, EDFPath: fv.EDFPath,
+				}
+				if ok {
+					cv.Verdict = telemetry.VerdictChosen
+				} else {
+					cv.Verdict = telemetry.VerdictEDFInfeasible
+					cv.Deadline = fv.BreachDeadline
+				}
+				h.prov.Candidate(cv)
+			} else {
+				ok = h.lists[r].Feasible(preempt, p.Time, &h.edf)
+			}
+			if ok {
 				mapping[jobIdx] = r
 				capacity[r] -= cpm[base+r]
 				h.invalidateColumn(r, unassigned)
+				if recording {
+					regret := h.second[jobIdx] - h.best[jobIdx]
+					h.prov.Pick(jobs[jobIdx].ID, regret, r)
+					for _, nr := range ps {
+						if nr == r {
+							continue
+						}
+						h.prov.Candidate(telemetry.CandidateVerdict{
+							Job: jobs[jobIdx].ID, Res: nr,
+							Verdict: telemetry.VerdictNotTried, Des: des[base+nr],
+						})
+					}
+				}
 				placed = true
 				break
 			}
@@ -245,7 +293,7 @@ func (h *Heuristic) Solve(p *sched.Problem) Decision {
 		}
 		if !placed {
 			// Lines 31-32: no more resources.
-			return h.fail(mapping)
+			return h.fail(mapping, jobIdx)
 		}
 	}
 
@@ -313,9 +361,37 @@ func (h *Heuristic) invalidateColumn(r int, unassigned []int) {
 }
 
 // fail returns the infeasible decision over a copy of the partial mapping.
-func (h *Heuristic) fail(mapping []int) Decision {
+// failJob is the job that killed the solve; under provenance its remaining
+// candidate verdicts are recorded so every rejection explains the full
+// resource picture for the job that could not be placed.
+func (h *Heuristic) fail(mapping []int, failJob int) Decision {
 	h.infeasible.Inc()
+	if h.prov.Enabled() {
+		h.recordExcluded(failJob)
+	}
 	return Decision{Mapping: append([]int(nil), mapping...), Feasible: false}
+}
+
+// recordExcluded records why each resource outside job ji's feasible set
+// was never probed: the type cannot run there, or the remaining window
+// capacity no longer fits. Resources still in the set were (or are about to
+// be counted as) probed by the placement loop and are skipped here.
+func (h *Heuristic) recordExcluded(ji int) {
+	base := ji * h.n
+	jobID := h.p.Jobs[ji].ID
+	for r := 0; r < h.n; r++ {
+		if h.feas[base+r] {
+			continue
+		}
+		cv := telemetry.CandidateVerdict{Job: jobID, Res: r}
+		if h.cpm[base+r] == task.NotExecutable {
+			cv.Verdict = telemetry.VerdictNotExecutable
+		} else {
+			cv.Verdict = telemetry.VerdictNoCapacity
+			cv.Des = h.des[base+r]
+		}
+		h.prov.Candidate(cv)
+	}
 }
 
 // Admit runs the Sec 4.1 admission protocol: solve with the predicted

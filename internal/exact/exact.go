@@ -100,6 +100,10 @@ type Optimal struct {
 	// keeps its scratch arena alive across solves.
 	seeder core.Heuristic
 
+	// prov, when attached, receives one BBStats record per solve (the
+	// seeder contributes its own candidate/pick records).
+	prov *telemetry.ProvRecorder
+
 	// Scratch state for the current solve. Per-resource entry lists are
 	// kept in FeasibleSorted service order with future-release counts
 	// (sched.EntryList), so most feasibility probes are allocation-free
@@ -164,6 +168,36 @@ func (o *Optimal) feasible(res int) bool {
 var _ core.Solver = (*Optimal)(nil)
 var _ core.BudgetAware = (*Optimal)(nil)
 var _ telemetry.Instrumentable = (*Optimal)(nil)
+var _ telemetry.ProvenanceAware = (*Optimal)(nil)
+
+// AttachProvenance installs the decision-provenance recorder
+// (telemetry.ProvenanceAware) and forwards it to the Algorithm 1 seeder,
+// whose candidate verdicts and regret picks describe the incumbent seed.
+func (o *Optimal) AttachProvenance(rec *telemetry.ProvRecorder) {
+	o.prov = rec
+	o.seeder.AttachProvenance(rec)
+}
+
+// recordBB appends this solve's branch-and-bound statistics to the
+// provenance recorder. Must run before flushCacheStats, which zeroes the
+// batched cache probe deltas the record reports.
+func (o *Optimal) recordBB() {
+	if !o.prov.Enabled() {
+		return
+	}
+	b := telemetry.BBStats{
+		Nodes:       o.LastStats.Nodes,
+		Truncated:   o.LastStats.Truncated,
+		Tasks:       o.LastStats.Tasks,
+		Workers:     o.LastStats.Workers,
+		CacheHits:   o.hitsDelta,
+		CacheMisses: o.missDelta,
+	}
+	if o.found {
+		b.Incumbent = o.bestE
+	}
+	o.prov.BB(b)
+}
 
 // wallCheckMask throttles wall-clock budget checks to every 512 nodes: a
 // time.Now call per node would dominate the ~100ns node expansion.
@@ -268,6 +302,7 @@ func (o *Optimal) Solve(p *sched.Problem) core.Decision {
 			o.LastStats = Stats{}
 			o.mSolves.Inc()
 			o.mInfeasible.Inc()
+			o.recordBB()
 			o.flushCacheStats()
 			return core.Decision{Mapping: append([]int(nil), o.mapping...), Feasible: false}
 		}
@@ -313,6 +348,7 @@ func (o *Optimal) Solve(p *sched.Problem) core.Decision {
 	if o.LastStats.Truncated {
 		o.mTruncated.Inc()
 	}
+	o.recordBB()
 	o.flushCacheStats()
 	if !o.found {
 		o.mInfeasible.Inc()

@@ -205,7 +205,7 @@ func (f *FaultySolver) SolveChecked(pr *sched.Problem) (core.Decision, error) {
 		if f.trc != nil {
 			e := telemetry.NewEvent(pr.Time, telemetry.EvFaultInjected)
 			e.Req = ArrivingID(pr)
-			e.Reason = "solver_error"
+			e.Reason = telemetry.ReasonSolverError
 			f.trc.Emit(e)
 		}
 		return core.Decision{}, fmt.Errorf("faultinject: planned solver fault at t=%.6f", pr.Time)
@@ -275,7 +275,7 @@ func (p *Plan) Hook(tracer *telemetry.Tracer, reg *telemetry.Registry) func(req 
 			e := telemetry.NewEvent(arrival, telemetry.EvFaultInjected)
 			e.Req = req
 			e.Value = p.LatencySpike
-			e.Reason = "latency_spike"
+			e.Reason = telemetry.ReasonLatencySpike
 			tracer.Emit(e)
 		}
 		return p.LatencySpike
@@ -325,7 +325,7 @@ func (f *faultyPredictor) Predict() (predict.Prediction, bool) {
 	key := uint64(f.last)
 	if r := f.plan.PredictorOutageRate; r > 0 && f.plan.roll(streamOutage, key) < r {
 		f.outages.Inc()
-		f.emit("predictor_outage", 0)
+		f.emit(telemetry.ReasonPredictorOutage, 0)
 		return predict.Prediction{}, false
 	}
 	pred, ok := f.inner.Predict()
@@ -338,7 +338,7 @@ func (f *faultyPredictor) Predict() (predict.Prediction, bool) {
 		shift := f.plan.site(streamCorruptShift, key).Uniform(-f.plan.CorruptShift, f.plan.CorruptShift)
 		pred.Arrival += shift
 		f.corrupted.Inc()
-		f.emit("predictor_corrupt", shift)
+		f.emit(telemetry.ReasonPredictorCorrupt, shift)
 	}
 	return pred, ok
 }

@@ -1,0 +1,5 @@
+// Package meta holds repository-level consistency tests: checks on the
+// build and CI machinery itself — Makefile gate regexes, committed
+// baselines — rather than on any runtime package. It exports no runtime
+// code.
+package meta

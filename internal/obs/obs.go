@@ -22,8 +22,12 @@
 //	/healthz      liveness ("ok")
 //	/statusz      JSON RM state: in-flight jobs, per-resource occupancy
 //	              and reservations, FeasCache hit rate, solver
-//	              fallback/budget counters, tracer drop counts, SLO
-//	              burn rates
+//	              fallback/budget counters, per-reason admission
+//	              histograms, tracer drop counts, SLO burn rates
+//	/explainz     ?req=N: the request's decision-provenance narrative
+//	              reconstructed from the tracer's ring (JSON; ?text=1
+//	              renders the tracetool-explain text report). Needs the
+//	              run recorded with provenance on to carry full detail.
 //	/trace/tail   live structured-event stream (NDJSON; SSE with
 //	              Accept: text/event-stream or ?sse=1) from a bounded
 //	              non-blocking telemetry.Subscriber tap
@@ -44,11 +48,13 @@ import (
 	"net/http"
 	"net/http/pprof"
 	"strconv"
+	"strings"
 	"sync/atomic"
 	"time"
 
 	"predrm/internal/sim"
 	"predrm/internal/telemetry"
+	"predrm/internal/traceview"
 )
 
 // Options configures a Plane.
@@ -99,6 +105,7 @@ func NewPlane(opts Options) *Plane {
 	p.mux.HandleFunc("/metrics", p.handleMetrics)
 	p.mux.HandleFunc("/healthz", p.handleHealthz)
 	p.mux.HandleFunc("/statusz", p.handleStatusz)
+	p.mux.HandleFunc("/explainz", p.handleExplainz)
 	p.mux.HandleFunc("/trace/tail", p.handleTail)
 	p.mux.HandleFunc("/debug/pprof/", pprof.Index)
 	p.mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
@@ -162,6 +169,7 @@ func (p *Plane) handleIndex(w http.ResponseWriter, r *http.Request) {
   /metrics      Prometheus text exposition
   /healthz      liveness
   /statusz      JSON RM state + SLO burn rates
+  /explainz     ?req=N decision-provenance narrative (&text=1 for text)
   /trace/tail   live event stream (NDJSON; SSE with Accept: text/event-stream)
   /debug/pprof  profiling
 `)
@@ -197,6 +205,10 @@ type Status struct {
 	FeasCache CacheStatus `json:"feascache"`
 	// Solver carries the resilience chain's fallback/budget counters.
 	Solver SolverStatus `json:"solver"`
+	// Reasons histograms the enumerated admission-decision reasons seen so
+	// far (from the sim.admit_reason.* / sim.reject_reason.* counters;
+	// empty maps until the driver records decisions).
+	Reasons ReasonStatus `json:"reasons"`
 	// Tracer reports event-loss accounting for the ring and the fan-out.
 	Tracer TracerStatus `json:"tracer"`
 }
@@ -217,6 +229,13 @@ type SolverStatus struct {
 	StageErrors     int64 `json:"stage_errors"`
 	BudgetExhausted int64 `json:"budget_exhausted"`
 	RejectOnly      int64 `json:"reject_only"`
+}
+
+// ReasonStatus breaks admission decisions down by their enumerated
+// telemetry reason.
+type ReasonStatus struct {
+	Admit  map[string]int64 `json:"admit"`
+	Reject map[string]int64 `json:"reject"`
 }
 
 // TracerStatus reports event-loss accounting.
@@ -251,6 +270,10 @@ func (p *Plane) CurrentStatus() Status {
 			BudgetExhausted: c["resilience.budget_exhausted"],
 			RejectOnly:      c["resilience.reject_only"],
 		}
+		st.Reasons = ReasonStatus{
+			Admit:  reasonCounters(c, "sim.admit_reason."),
+			Reject: reasonCounters(c, "sim.reject_reason."),
+		}
 	}
 	if t := p.opts.Tracer; t != nil {
 		st.Tracer = TracerStatus{
@@ -267,6 +290,54 @@ func (p *Plane) handleStatusz(w http.ResponseWriter, _ *http.Request) {
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
 	_ = enc.Encode(p.CurrentStatus())
+}
+
+// reasonCounters extracts the counters under one reason-histogram prefix.
+func reasonCounters(c map[string]int64, prefix string) map[string]int64 {
+	out := make(map[string]int64)
+	for name, v := range c {
+		if strings.HasPrefix(name, prefix) {
+			out[strings.TrimPrefix(name, prefix)] = v
+		}
+	}
+	return out
+}
+
+// handleExplainz answers "why was request N admitted/rejected?" live: it
+// rebuilds the timeline from the tracer's ring and renders the request's
+// decision-provenance record. The ring bounds the lookback — requests
+// whose decision events were overwritten answer 404.
+func (p *Plane) handleExplainz(w http.ResponseWriter, r *http.Request) {
+	t := p.opts.Tracer
+	if t == nil {
+		http.Error(w, "no tracer attached", http.StatusServiceUnavailable)
+		return
+	}
+	q := r.URL.Query().Get("req")
+	if q == "" {
+		http.Error(w, "explainz requires ?req=<request id>", http.StatusBadRequest)
+		return
+	}
+	req, err := strconv.Atoi(q)
+	if err != nil {
+		http.Error(w, fmt.Sprintf("req %q is not an integer", q), http.StatusBadRequest)
+		return
+	}
+	tl := traceview.BuildTimeline(&traceview.Decoded{Events: t.Events()})
+	x, err := traceview.Explain(tl, req)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusNotFound)
+		return
+	}
+	if r.URL.Query().Get("text") == "1" {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		_ = traceview.WriteExplanation(w, x)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(x)
 }
 
 // handleTail streams live events. The subscriber is bounded and

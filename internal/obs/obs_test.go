@@ -8,6 +8,7 @@ import (
 	"math"
 	"net/http"
 	"strings"
+	"sync"
 	"testing"
 	"time"
 
@@ -19,6 +20,7 @@ import (
 	"predrm/internal/task"
 	"predrm/internal/telemetry"
 	"predrm/internal/trace"
+	"predrm/internal/traceview"
 )
 
 // fixture builds a small deterministic simulation with the exact solver so
@@ -50,10 +52,11 @@ func fixture(t testing.TB) (sim.Config, *trace.Trace) {
 		t.Fatal(err)
 	}
 	return sim.Config{
-		Platform:  plat,
-		TaskSet:   set,
-		Solver:    &exact.Optimal{},
-		Predictor: oracle,
+		Platform:   plat,
+		TaskSet:    set,
+		Solver:     &exact.Optimal{},
+		Predictor:  oracle,
+		Provenance: true,
 	}, tr
 }
 
@@ -152,7 +155,11 @@ func TestOpsServerSmoke(t *testing.T) {
 	if errs := ValidateExposition(bytes.NewReader(body)); len(errs) > 0 {
 		t.Fatalf("metrics failed validation: %v\n%s", errs, body)
 	}
-	for _, want := range []string{"exact_cache_hits", "slo_rejection_burn_w50", "telemetry_tracer_dropped", "sim_solver_seconds_bucket"} {
+	for _, want := range []string{
+		"exact_cache_hits", "slo_rejection_burn_w50", "telemetry_tracer_dropped",
+		"sim_solver_seconds_bucket",
+		"sim_reject_reason_no_feasible_mapping", "sim_admit_reason_",
+	} {
 		if !strings.Contains(string(body), want) {
 			t.Fatalf("metrics missing family %q:\n%s", want, body)
 		}
@@ -201,6 +208,45 @@ func TestOpsServerSmoke(t *testing.T) {
 	}
 	if len(st.SLO.Windows) != 2 {
 		t.Fatalf("SLO windows %+v", st.SLO.Windows)
+	}
+
+	// Per-reason admission histograms agree with the run's result.
+	if res.Rejected == 0 {
+		t.Fatal("fixture produced no rejections; reason histograms untested")
+	}
+	if got := st.Reasons.Reject[telemetry.ReasonNoFeasibleMapping]; got != int64(res.Rejected) {
+		t.Fatalf("statusz reject reasons %v, result rejected %d", st.Reasons.Reject, res.Rejected)
+	}
+	var admitTotal int64
+	for _, v := range st.Reasons.Admit {
+		admitTotal += v
+	}
+	if admitTotal != int64(res.Accepted) {
+		t.Fatalf("statusz admit reasons %v sum %d, result accepted %d",
+			st.Reasons.Admit, admitTotal, res.Accepted)
+	}
+
+	// /explainz reconstructs a rejected request's decision narrative from
+	// the tracer's ring.
+	tl := traceview.BuildTimeline(&traceview.Decoded{Events: tracer.Events()})
+	rejected := tl.RejectedRequests()
+	if len(rejected) == 0 {
+		t.Fatal("timeline lost the rejections")
+	}
+	resp, body = get(t, fmt.Sprintf("%s/explainz?req=%d", srv.URL(), rejected[0]))
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("explainz: %d\n%s", resp.StatusCode, body)
+	}
+	var x traceview.Explanation
+	if err := json.Unmarshal(body, &x); err != nil {
+		t.Fatalf("explainz: %v\n%s", err, body)
+	}
+	if x.Prov == nil || len(x.Prov.Attempts) == 0 {
+		t.Fatalf("explainz carries no provenance record:\n%s", body)
+	}
+	resp, body = get(t, fmt.Sprintf("%s/explainz?req=%d&text=1", srv.URL(), rejected[0]))
+	if resp.StatusCode != http.StatusOK || !strings.Contains(string(body), "REJECTED") {
+		t.Fatalf("explainz text: %d\n%s", resp.StatusCode, body)
 	}
 
 	// /debug/pprof is mounted.
@@ -298,6 +344,104 @@ func TestTailBadBuf(t *testing.T) {
 		if resp, _ := get(t, srv.URL()+"/trace/tail?"+q); resp.StatusCode != http.StatusBadRequest {
 			t.Fatalf("?%s: %d, want 400", q, resp.StatusCode)
 		}
+	}
+}
+
+// TestExplainzErrors pins the endpoint's refusal modes: no tracer (503),
+// missing or malformed ?req (400), and a request outside the ring (404).
+func TestExplainzErrors(t *testing.T) {
+	bare := NewPlane(Options{})
+	srvBare, err := Serve("127.0.0.1:0", bare)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srvBare.Close()
+	if resp, _ := get(t, srvBare.URL()+"/explainz?req=0"); resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("explainz without tracer: %d, want 503", resp.StatusCode)
+	}
+
+	tracer := telemetry.NewTracer(telemetry.TracerOptions{})
+	plane := NewPlane(Options{Tracer: tracer})
+	srv, err := Serve("127.0.0.1:0", plane)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	for _, q := range []string{"", "?req=", "?req=zebra"} {
+		if resp, _ := get(t, srv.URL()+"/explainz"+q); resp.StatusCode != http.StatusBadRequest {
+			t.Fatalf("explainz%s: %d, want 400", q, resp.StatusCode)
+		}
+	}
+	if resp, _ := get(t, srv.URL()+"/explainz?req=42"); resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("explainz for absent request: %d, want 404", resp.StatusCode)
+	}
+}
+
+// TestPlaneProbeConcurrentStatusz drives StateProbe, the per-reason
+// counters, and tracer emission from a writer goroutine while /statusz,
+// /metrics, and /explainz scrape concurrently — the race detector guards
+// the plane's synchronization (run via the obscheck -race gate).
+func TestPlaneProbeConcurrentStatusz(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	tracer := telemetry.NewTracer(telemetry.TracerOptions{RingSize: 256})
+	plane := NewPlane(Options{Snapshot: reg.Snapshot, Tracer: tracer})
+	srv, err := Serve("127.0.0.1:0", plane)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	stop := make(chan struct{})
+	var writer sync.WaitGroup
+	writer.Add(1)
+	go func() {
+		defer writer.Done()
+		resources := []sim.ResourceSample{{Jobs: 1}}
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			plane.Probe(sim.StateSample{
+				Time: float64(i), Req: i, Requests: i + 1, Resources: resources,
+			})
+			reg.Counter("sim.reject_reason." + telemetry.ReasonNoFeasibleMapping).Add(1)
+			reg.Counter("sim.admit_reason." + telemetry.ReasonPlain).Add(1)
+			e := telemetry.NewEvent(float64(i), telemetry.EvReject)
+			e.Req, e.Task, e.Reason = i, 0, telemetry.ReasonNoFeasibleMapping
+			tracer.Emit(e)
+		}
+	}()
+
+	var scrapers sync.WaitGroup
+	for _, path := range []string{"/statusz", "/metrics", "/explainz?req=0", "/explainz?req=0&text=1"} {
+		path := path
+		scrapers.Add(1)
+		go func() {
+			defer scrapers.Done()
+			for i := 0; i < 50; i++ {
+				resp, err := http.Get(srv.URL() + path)
+				if err != nil {
+					t.Errorf("GET %s: %v", path, err)
+					return
+				}
+				_, _ = io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+			}
+		}()
+	}
+	scrapers.Wait()
+	close(stop)
+	writer.Wait()
+
+	_, body := get(t, srv.URL()+"/statusz")
+	var st Status
+	if err := json.Unmarshal(body, &st); err != nil {
+		t.Fatalf("statusz: %v\n%s", err, body)
+	}
+	if st.Reasons.Reject[telemetry.ReasonNoFeasibleMapping] == 0 {
+		t.Fatalf("reject reason counter missing after concurrent run: %+v", st.Reasons)
 	}
 }
 

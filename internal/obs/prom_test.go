@@ -65,9 +65,9 @@ func TestWritePrometheusValidates(t *testing.T) {
 	}
 	out := buf.String()
 	for _, want := range []string{
-		"_9weird_name_pct 1\n",                    // sanitised leading digit and punctuation
+		"_9weird_name_pct 1\n",                              // sanitised leading digit and punctuation
 		"# HELP _9weird_name_pct counter 9weird-name.pct\n", // original name preserved
-		`sim_solver_seconds_bucket{le="+Inf"} 5`,  // closing bucket covers overflow
+		`sim_solver_seconds_bucket{le="+Inf"} 5`,            // closing bucket covers overflow
 		"sim_solver_seconds_count 5\n",
 		"exact_cache_hit_rate 0.25\n",
 		"exact_cache_hit_rate_max 0.5\n",

@@ -101,8 +101,8 @@ func TestSLOGauges(t *testing.T) {
 	s.Record(1, 10, 5, 0, 0)
 	snap := reg.Snapshot()
 	for name, want := range map[string]float64{
-		"slo.rejection.rate_w10": 0.5,
-		"slo.rejection.burn_w10": 1.0,
+		"slo.rejection.rate_w10":     0.5,
+		"slo.rejection.burn_w10":     1.0,
 		"slo.deadline_miss.rate_w10": 0,
 		"slo.deadline_miss.burn_w10": 0,
 	} {

@@ -1,0 +1,51 @@
+package sched
+
+import (
+	"testing"
+
+	"predrm/internal/rng"
+)
+
+// TestFeasibleExplainMatchesFeasible fuzzes random entry populations on
+// both resource kinds and checks the explain-mode probe agrees with the
+// hot-path verdict, and that an infeasible verdict always pins a broken
+// deadline with negative slack.
+func TestFeasibleExplainMatchesFeasible(t *testing.T) {
+	r := rng.New(777)
+	now := 10.0
+	var scratch EDFScratch
+	for trial := 0; trial < 4000; trial++ {
+		var l EntryList
+		for i, k := 0, r.Intn(7); i < k; i++ {
+			l.Insert(now, randomEntry(r, now))
+		}
+		preempt := r.Float64() < 0.5
+		want := l.Feasible(preempt, now, &scratch)
+		v := l.FeasibleExplain(preempt, now)
+		if v.Feasible != want {
+			t.Fatalf("trial %d: FeasibleExplain = %v, Feasible = %v (entries %+v, preempt %v)",
+				trial, v.Feasible, want, l.Entries(), preempt)
+		}
+		if v.EDFPath != (l.Future() > 0) {
+			t.Fatalf("trial %d: EDFPath = %v with %d future releases", trial, v.EDFPath, l.Future())
+		}
+		if !v.Feasible {
+			if v.BreachDeadline == 0 {
+				t.Fatalf("trial %d: infeasible verdict with no breach deadline: %+v", trial, v)
+			}
+			if v.Slack >= 0 {
+				t.Fatalf("trial %d: infeasible verdict with slack %v", trial, v.Slack)
+			}
+		}
+	}
+}
+
+// TestFeasibleExplainEmpty pins the trivial case: an empty list is
+// feasible with zero reported slack.
+func TestFeasibleExplainEmpty(t *testing.T) {
+	var l EntryList
+	v := l.FeasibleExplain(true, 5)
+	if !v.Feasible || v.Slack != 0 || v.BreachDeadline != 0 || v.EDFPath {
+		t.Fatalf("empty-list verdict = %+v", v)
+	}
+}

@@ -1,0 +1,130 @@
+package sim
+
+import (
+	"testing"
+
+	"predrm/internal/telemetry"
+)
+
+// TestDecisionEventProvenance checks the simulator's decision-provenance
+// wiring end to end: with Config.Provenance on, every admission decision
+// is followed by an EvDecision event whose record reconstructs the causal
+// chain — protocol attempts, solver-chain hops, and (for rejections) the
+// per-candidate feasibility verdicts of the job that could not be placed —
+// and the per-reason outcome counters reconcile with the run totals.
+func TestDecisionEventProvenance(t *testing.T) {
+	cfg, tr := telemetryFixture(t)
+	tracer := telemetry.NewTracer(telemetry.TracerOptions{})
+	reg := telemetry.NewRegistry()
+	cfg.Tracer = tracer
+	cfg.Metrics = reg
+
+	res, err := Run(cfg, tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Rejected == 0 || res.Accepted == 0 {
+		t.Fatalf("fixture must exercise both outcomes: %+v", res)
+	}
+
+	decisions := map[int]telemetry.Event{}
+	rejected := map[int]bool{}
+	for _, e := range tracer.Events() {
+		switch e.Type {
+		case telemetry.EvDecision:
+			decisions[e.Req] = e
+		case telemetry.EvReject:
+			rejected[e.Req] = true
+		}
+	}
+	if len(decisions) != tr.Len() {
+		t.Fatalf("decision events: got %d, want one per request (%d)", len(decisions), tr.Len())
+	}
+
+	for req, e := range decisions {
+		p := e.Prov
+		if p == nil {
+			t.Fatalf("request %d: decision event without provenance", req)
+		}
+		if len(p.Attempts) == 0 {
+			t.Fatalf("request %d: no protocol attempts recorded", req)
+		}
+		if len(p.Stages) < len(p.Attempts) {
+			t.Fatalf("request %d: %d stage hops for %d attempts", req, len(p.Stages), len(p.Attempts))
+		}
+		if !rejected[req] {
+			if e.Reason == telemetry.ReasonNoFeasibleMapping || e.Res < 0 {
+				t.Fatalf("request %d: admitted but decision says %+v", req, e)
+			}
+			if len(p.Picks) == 0 {
+				t.Fatalf("request %d: admitted with no placement picks", req)
+			}
+			continue
+		}
+		// Rejection narrative: the reason is enumerated, every attempt
+		// failed, and the final attempt explains why each candidate
+		// resource was ruled out.
+		if e.Reason != telemetry.ReasonNoFeasibleMapping || e.Res != -1 {
+			t.Fatalf("request %d: rejected but decision says %+v", req, e)
+		}
+		for _, a := range p.Attempts {
+			if a.Feasible {
+				t.Fatalf("request %d: rejected with a feasible attempt: %+v", req, p.Attempts)
+			}
+		}
+		last := len(p.Attempts) - 1
+		verdicts := 0
+		for _, c := range p.Candidates {
+			if c.Attempt != last {
+				continue
+			}
+			verdicts++
+			switch c.Verdict {
+			case telemetry.VerdictEDFInfeasible:
+				if c.Deadline <= 0 {
+					t.Fatalf("request %d: breach verdict without deadline: %+v", req, c)
+				}
+			case telemetry.VerdictChosen, telemetry.VerdictNotTried,
+				telemetry.VerdictNoCapacity, telemetry.VerdictNotExecutable:
+			default:
+				t.Fatalf("request %d: unknown verdict %+v", req, c)
+			}
+		}
+		if verdicts == 0 {
+			t.Fatalf("request %d: rejection's final attempt has no candidate verdicts", req)
+		}
+	}
+
+	// Per-reason outcome counters reconcile with the run totals.
+	snap := reg.Snapshot()
+	if got := snap.Counters["sim.reject_reason."+telemetry.ReasonNoFeasibleMapping]; got != int64(res.Rejected) {
+		t.Fatalf("reject reason counter = %d, want %d", got, res.Rejected)
+	}
+	admits := int64(0)
+	for _, reason := range []string{
+		telemetry.ReasonWithReservation, telemetry.ReasonPredictionDropped, telemetry.ReasonPlain,
+	} {
+		admits += snap.Counters["sim.admit_reason."+reason]
+	}
+	if admits != int64(res.Accepted) {
+		t.Fatalf("admit reason counters sum to %d, want %d", admits, res.Accepted)
+	}
+}
+
+// TestProvenanceDisabledEmitsNoDecisions pins the default: without
+// Config.Provenance the stream carries no decision events and no recorder
+// is attached.
+func TestProvenanceDisabledEmitsNoDecisions(t *testing.T) {
+	cfg, tr := telemetryFixture(t)
+	cfg.Provenance = false
+	tracer := telemetry.NewTracer(telemetry.TracerOptions{})
+	cfg.Tracer = tracer
+	if _, err := Run(cfg, tr); err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range tracer.Events() {
+		if e.Type == telemetry.EvDecision || e.Prov != nil {
+			t.Fatalf("provenance disabled but stream has %+v", e)
+		}
+	}
+}

@@ -98,6 +98,16 @@ type Config struct {
 	// synchronously from the event loop, so it must be fast and must not
 	// retain the sample's Resources slice beyond the call.
 	StateProbe func(StateSample)
+	// Provenance enables per-activation decision-provenance recording: a
+	// ProvRecorder is attached to the solver (telemetry.ProvenanceAware)
+	// and every admission decision is followed by an EvDecision event
+	// carrying the full causal record — solver-chain hops, candidate
+	// feasibility verdicts, regret picks, branch-and-bound statistics, and
+	// remapping deltas. Off by default: recording widens the solver's
+	// feasibility probes to explain mode and allocates per activation, so
+	// the hot path keeps its allocation-free benchmark gate when disabled.
+	// Requires Tracer to be useful (the record rides the event stream).
+	Provenance bool
 }
 
 // StateSample is the RM state handed to Config.StateProbe: cumulative
@@ -292,6 +302,10 @@ type runner struct {
 	// It exists only to emit job_start/job_preempt/job_finish lifecycle
 	// events and is nil when tracing is disabled.
 	running []*sched.Job
+	// prov is the decision-provenance arena, non-nil only when
+	// Config.Provenance is on; it is Reset at every activation and
+	// snapshotted into the EvDecision event.
+	prov *telemetry.ProvRecorder
 	// critEnergy accumulates per-job energy for critical releases (adaptive
 	// jobs use their JobRecord), so job_finish can report consumption.
 	// Trace-only, like running.
@@ -343,15 +357,43 @@ func (r *runner) emitLifecycle(typ telemetry.EventType, j *sched.Job, res int, r
 	r.trc.Emit(e)
 }
 
+// reasonCounter bumps the per-reason outcome counter (e.g.
+// sim.reject_reason.no_feasible_mapping). The registry's get-or-create
+// lookup makes the counter set self-defining: a reason appears the first
+// time it is charged.
+func (r *runner) reasonCounter(prefix, reason string) {
+	if r.cfg.Metrics == nil {
+		return
+	}
+	r.cfg.Metrics.Counter(prefix + reason).Inc()
+}
+
+// emitDecision publishes the activation's decision-provenance record as an
+// EvDecision event carrying a deep-copied snapshot of the arena (the
+// tracer ring outlives the next Reset).
+func (r *runner) emitDecision(req, taskType, res int, reason string, energy float64) {
+	if r.prov == nil || r.trc == nil {
+		return
+	}
+	e := telemetry.NewEvent(r.now, telemetry.EvDecision)
+	e.Req = req
+	e.Task = taskType
+	e.Res = res
+	e.Reason = reason
+	e.Value = energy
+	e.Prov = r.prov.Snapshot()
+	r.trc.Emit(e)
+}
+
 // noteExec registers that j is about to execute on res, emitting job_start
 // when the resource's occupancy changes. Called only when tracing.
 func (r *runner) noteExec(j *sched.Job, res int) {
 	if r.running[res] == j {
 		return
 	}
-	reason := "start"
+	reason := telemetry.ReasonStart
 	if j.Started {
-		reason = "resume"
+		reason = telemetry.ReasonResume
 	}
 	r.emitLifecycle(telemetry.EvJobStart, j, res, reason)
 	r.running[res] = j
@@ -385,12 +427,12 @@ func (r *runner) notePauses(acts []execAction) {
 			r.running[res] = nil // reap emits job_finish
 			continue
 		}
-		reason := "paused"
+		reason := telemetry.ReasonPaused
 		if displacer != nil {
-			reason = "displaced"
+			reason = telemetry.ReasonDisplaced
 		}
 		if migrates {
-			reason = "migrated"
+			reason = telemetry.ReasonMigrated
 		}
 		r.emitLifecycle(telemetry.EvJobPreempt, occ, res, reason)
 		r.running[res] = nil
@@ -537,6 +579,12 @@ func Run(cfg Config, tr *trace.Trace) (*Result, error) {
 			inst.AttachMetrics(cfg.Metrics)
 		}
 	}
+	if cfg.Provenance {
+		r.prov = telemetry.NewProvRecorder()
+		if pa, ok := cfg.Solver.(telemetry.ProvenanceAware); ok {
+			pa.AttachProvenance(r.prov)
+		}
+	}
 	if cfg.Critical != nil {
 		if err := cfg.Critical.Validate(cfg.Platform); err != nil {
 			return nil, err
@@ -634,7 +682,8 @@ func Run(cfg Config, tr *trace.Trace) (*Result, error) {
 		if measuring {
 			solveStart = time.Now()
 		}
-		decision, admitted, solveErr := core.AdmitChecked(cfg.Solver, problem)
+		r.prov.Reset()
+		decision, admitted, solveErr := core.AdmitProv(cfg.Solver, problem, r.prov)
 		var wall time.Duration
 		if measuring {
 			wall = time.Since(solveStart)
@@ -649,7 +698,7 @@ func Run(cfg Config, tr *trace.Trace) (*Result, error) {
 				e := telemetry.NewEvent(r.now, telemetry.EvSolverReturned)
 				e.Req = idx
 				e.WallNs = wall.Nanoseconds()
-				e.Reason = "error"
+				e.Reason = telemetry.ReasonError
 				r.trc.Emit(e)
 			}
 			return nil, fmt.Errorf("sim: solver failed at request %d (t=%.6f): %w", idx, r.now, solveErr)
@@ -659,23 +708,25 @@ func Run(cfg Config, tr *trace.Trace) (*Result, error) {
 			e.Req = idx
 			e.WallNs = wall.Nanoseconds()
 			if admitted {
-				e.Reason = "feasible"
+				e.Reason = telemetry.ReasonFeasible
 				e.Value = decision.Energy
 			} else {
-				e.Reason = "infeasible"
+				e.Reason = telemetry.ReasonInfeasible
 			}
 			r.trc.Emit(e)
 		}
 		if !admitted {
 			r.res.Rejected++
 			r.ins.rejected.Inc()
+			r.reasonCounter("sim.reject_reason.", telemetry.ReasonNoFeasibleMapping)
 			if r.trc != nil {
 				e := telemetry.NewEvent(r.now, telemetry.EvReject)
 				e.Req = idx
 				e.Task = req.Type
-				e.Reason = "no_feasible_mapping"
+				e.Reason = telemetry.ReasonNoFeasibleMapping
 				r.trc.Emit(e)
 			}
+			r.emitDecision(idx, req.Type, sched.Unmapped, telemetry.ReasonNoFeasibleMapping, 0)
 			// Drop any stale reservation (its request has now arrived) but
 			// keep the standing mappings.
 			if err := r.replan(nil); err != nil {
@@ -694,21 +745,23 @@ func Run(cfg Config, tr *trace.Trace) (*Result, error) {
 				ghosts = append(ghosts, ghostRef{job: j, res: decision.Mapping[i]})
 			}
 		}
+		admitReason := telemetry.ReasonPlain
+		switch {
+		case len(ghosts) > 0:
+			admitReason = telemetry.ReasonWithReservation
+		case predicting:
+			admitReason = telemetry.ReasonPredictionDropped
+		}
+		r.reasonCounter("sim.admit_reason.", admitReason)
 		if r.trc != nil {
 			e := telemetry.NewEvent(r.now, telemetry.EvAdmit)
 			e.Req = idx
 			e.Task = req.Type
 			e.Res = decision.Mapping[newIdx]
-			switch {
-			case len(ghosts) > 0:
-				e.Reason = "with_reservation"
-			case predicting:
-				e.Reason = "prediction_dropped"
-			default:
-				e.Reason = "plain"
-			}
+			e.Reason = admitReason
 			r.trc.Emit(e)
 		}
+		r.emitDecision(idx, req.Type, decision.Mapping[newIdx], admitReason, decision.Energy)
 		for _, g := range ghosts {
 			r.ins.resvPlanned.Inc()
 			if cfg.WorkConserving {
@@ -798,6 +851,7 @@ func (r *runner) apply(p *sched.Problem, d core.Decision, newJob *sched.Job) {
 		}
 		if j.Resource != sched.Unmapped && j.Resource != target {
 			charged := j.Started || p.Policy == sched.ChargeAlways
+			r.prov.Remap(j.ID, j.Resource, target, charged)
 			if charged {
 				j.MigDebt += j.Type.MigTime
 				rec := &r.rec[j.ID]
@@ -1098,7 +1152,7 @@ func (r *runner) noteFinish(j *sched.Job) {
 		e.Value = r.rec[j.ID].Energy
 	} else {
 		e.Value = r.critEnergy[j]
-		e.Reason = "critical"
+		e.Reason = telemetry.ReasonCritical
 		delete(r.critEnergy, j)
 	}
 	r.trc.Emit(e)

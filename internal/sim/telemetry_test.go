@@ -22,7 +22,10 @@ var updateGolden = flag.Bool("update-golden", false, "rewrite testdata golden fi
 // telemetryFixture builds a small deterministic simulation: seeded task
 // set and trace, perfect oracle prediction, and enough load that the event
 // stream contains arrivals, solver latencies, admissions, rejections,
-// migrations, and reservations.
+// migrations, and reservations. The solver is a single-stage resilience
+// chain around Algorithm 1 with provenance on, so every decision event
+// carries both candidate verdicts and stage hops (behaviorally identical
+// to the bare heuristic).
 func telemetryFixture(t testing.TB) (Config, *trace.Trace) {
 	t.Helper()
 	plat := platform.Default()
@@ -50,10 +53,13 @@ func telemetryFixture(t testing.TB) (Config, *trace.Trace) {
 		t.Fatal(err)
 	}
 	return Config{
-		Platform:  plat,
-		TaskSet:   set,
-		Solver:    &core.Heuristic{},
-		Predictor: oracle,
+		Platform: plat,
+		TaskSet:  set,
+		Solver: &core.BudgetedSolver{
+			Stages: []core.Stage{{Name: "heuristic", Solver: &core.Heuristic{}}},
+		},
+		Predictor:  oracle,
+		Provenance: true,
 	}, tr
 }
 
@@ -97,6 +103,7 @@ func TestTelemetryGoldenEvents(t *testing.T) {
 		telemetry.EvAdmit, telemetry.EvReject, telemetry.EvMigration,
 		telemetry.EvReservationPlanned, telemetry.EvReservationHonoured,
 		telemetry.EvJobStart, telemetry.EvJobFinish, telemetry.EvJobPreempt,
+		telemetry.EvDecision,
 	} {
 		if seen[want] == 0 {
 			t.Errorf("event type %q missing from stream (have %v)", want, seen)
@@ -125,10 +132,16 @@ func TestTelemetryGoldenEvents(t *testing.T) {
 		t.Fatalf("counter/result mismatch: %+v vs %+v", res.Telemetry.Counters, res)
 	}
 
-	// Golden comparison on the deterministic projection (WallNs cleared).
+	// Golden comparison on the deterministic projection (WallNs cleared,
+	// including the nested per-stage wall spend of provenance records).
 	var normalized bytes.Buffer
 	for _, e := range tracer.Events() {
 		e.WallNs = 0
+		if e.Prov != nil {
+			for i := range e.Prov.Stages {
+				e.Prov.Stages[i].WallNs = 0
+			}
+		}
 		line, err := json.Marshal(e)
 		if err != nil {
 			t.Fatal(err)

@@ -1,0 +1,120 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"testing"
+)
+
+// TestProvenanceRecorderNilSafe exercises every hook on a nil recorder:
+// the disabled path must be a pure no-op.
+func TestProvenanceRecorderNilSafe(t *testing.T) {
+	var r *ProvRecorder
+	if r.Enabled() {
+		t.Fatal("nil recorder reports enabled")
+	}
+	r.Reset()
+	r.BeginAttempt(3, 1)
+	r.EndAttempt(true, 1.5)
+	r.Candidate(CandidateVerdict{Job: 1, Res: 2, Verdict: VerdictChosen})
+	r.Pick(1, 0.5, 2)
+	r.Stage(StageHop{Stage: 0, Outcome: StageServed})
+	r.BB(BBStats{Nodes: 10})
+	r.Remap(1, 0, 2, true)
+	if s := r.Snapshot(); s != nil {
+		t.Fatalf("nil recorder snapshot = %+v, want nil", s)
+	}
+}
+
+// TestProvenanceRecorderAttemptStamping checks that records carry the
+// attempt index of the protocol solve they belong to, and that attempts
+// close with their outcome.
+func TestProvenanceRecorderAttemptStamping(t *testing.T) {
+	r := NewProvRecorder()
+	r.Candidate(CandidateVerdict{Job: 9, Res: 0, Verdict: VerdictNotTried})
+	r.BeginAttempt(5, 1)
+	r.Candidate(CandidateVerdict{Job: 4, Res: 1, Verdict: VerdictEDFInfeasible})
+	r.Stage(StageHop{Stage: 0, Name: "exact", Outcome: StageBudget, Nodes: 128})
+	r.EndAttempt(false, 0)
+	r.BeginAttempt(4, 0)
+	r.Pick(4, 2.5, 3)
+	r.BB(BBStats{Nodes: 77, Incumbent: 9.5})
+	r.EndAttempt(true, 9.5)
+	r.Remap(2, 0, 3, true)
+
+	p := r.Snapshot()
+	if len(p.Attempts) != 2 {
+		t.Fatalf("attempts = %d, want 2", len(p.Attempts))
+	}
+	if p.Attempts[0].Feasible || !p.Attempts[1].Feasible || p.Attempts[1].Energy != 9.5 {
+		t.Fatalf("attempt outcomes wrong: %+v", p.Attempts)
+	}
+	if p.Candidates[0].Attempt != -1 {
+		t.Fatalf("pre-protocol candidate stamped %d, want -1", p.Candidates[0].Attempt)
+	}
+	if p.Candidates[1].Attempt != 0 || p.Stages[0].Attempt != 0 {
+		t.Fatalf("attempt-0 records stamped wrong: %+v %+v", p.Candidates[1], p.Stages[0])
+	}
+	if p.Picks[0].Attempt != 1 || p.BB[0].Attempt != 1 {
+		t.Fatalf("attempt-1 records stamped wrong: %+v %+v", p.Picks[0], p.BB[0])
+	}
+	if len(p.Remaps) != 1 || p.Remaps[0] != (Remap{Job: 2, From: 0, To: 3, Charged: true}) {
+		t.Fatalf("remaps = %+v", p.Remaps)
+	}
+}
+
+// TestProvenanceSnapshotIndependent pins the arena contract: a snapshot
+// must not alias the recorder's slices, since the tracer ring keeps
+// emitted events alive across later activations that Reset and refill the
+// arena.
+func TestProvenanceSnapshotIndependent(t *testing.T) {
+	r := NewProvRecorder()
+	r.BeginAttempt(2, 0)
+	r.Candidate(CandidateVerdict{Job: 1, Res: 0, Verdict: VerdictChosen})
+	snap := r.Snapshot()
+
+	r.Reset()
+	r.BeginAttempt(9, 9)
+	r.Candidate(CandidateVerdict{Job: 99, Res: 5, Verdict: VerdictNoCapacity})
+
+	if len(snap.Candidates) != 1 || snap.Candidates[0].Job != 1 {
+		t.Fatalf("snapshot mutated by arena reuse: %+v", snap.Candidates)
+	}
+	if len(snap.Attempts) != 1 || snap.Attempts[0].Jobs != 2 {
+		t.Fatalf("snapshot attempts mutated: %+v", snap.Attempts)
+	}
+}
+
+// TestProvenanceEventRoundTrip checks that an EvDecision event with a
+// provenance record survives the JSONL encode/decode cycle, and that
+// events without one stay free of a prov key.
+func TestProvenanceEventRoundTrip(t *testing.T) {
+	r := NewProvRecorder()
+	r.BeginAttempt(3, 1)
+	r.Stage(StageHop{Stage: 0, Name: "heuristic", Outcome: StageServed})
+	r.EndAttempt(true, 4.25)
+
+	e := NewEvent(1.5, EvDecision)
+	e.Req = 7
+	e.Reason = ReasonPlain
+	e.Prov = r.Snapshot()
+	buf, err := json.Marshal(e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Event
+	if err := json.Unmarshal(buf, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Prov == nil || len(back.Prov.Stages) != 1 || back.Prov.Stages[0].Name != "heuristic" {
+		t.Fatalf("provenance lost in round trip: %+v", back.Prov)
+	}
+
+	plain := NewEvent(1.5, EvAdmit)
+	buf, err = json.Marshal(plain)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(buf) != `{"seq":0,"t":1.5,"type":"admit","req":-1,"task":-1,"res":-1}` {
+		t.Fatalf("prov-free event gained fields: %s", buf)
+	}
+}

@@ -1,0 +1,44 @@
+package telemetry
+
+import "testing"
+
+// TestReasonVocabularyKnown checks membership semantics: every vocabulary
+// entry is known for its own type, the empty reason is always known, and
+// foreign strings (or a known reason on the wrong type) are not.
+func TestReasonVocabularyKnown(t *testing.T) {
+	for typ, reasons := range ReasonVocabulary() {
+		for _, reason := range reasons {
+			if !KnownReason(typ, reason) {
+				t.Errorf("KnownReason(%s, %s) = false", typ, reason)
+			}
+		}
+	}
+	for _, typ := range KnownEventTypes() {
+		if !KnownReason(typ, "") {
+			t.Errorf("empty reason unknown for %s", typ)
+		}
+	}
+	if KnownReason(EvAdmit, "because") {
+		t.Error("free-text reason accepted on admit")
+	}
+	if KnownReason(EvAdmit, ReasonBudget) {
+		t.Error("fallback reason accepted on admit")
+	}
+	if KnownReason(EvArrival, ReasonPlain) {
+		t.Error("reason accepted on a type with no vocabulary")
+	}
+}
+
+// TestReasonVocabularyTypesAreKnown pins the vocabulary to the schema:
+// every type with a reason set must be a known event type.
+func TestReasonVocabularyTypesAreKnown(t *testing.T) {
+	known := make(map[EventType]bool)
+	for _, typ := range KnownEventTypes() {
+		known[typ] = true
+	}
+	for typ := range ReasonVocabulary() {
+		if !known[typ] {
+			t.Errorf("vocabulary names unknown event type %q", typ)
+		}
+	}
+}

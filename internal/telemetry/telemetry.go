@@ -88,15 +88,23 @@ const (
 	// EvSolverFallback: the budgeted solver chain (core.BudgetedSolver)
 	// fell through to a deeper stage during the activation for request
 	// Req. Value is the stage index fallen to (== the chain length when it
-	// bottomed out in reject-only); Reason is "error" (the stage failed or
-	// panicked), "budget" (its budget ran out with no feasible incumbent),
-	// or "reject_only".
+	// bottomed out in reject-only); Reason is "error" (the stage failed),
+	// "panic" (the stage panicked and was recovered), "budget" (its budget
+	// ran out with no feasible incumbent), or "reject_only".
 	EvSolverFallback EventType = "solver_fallback"
 	// EvFaultInjected: a fault plan (internal/faultinject) fired. Reason
 	// identifies the fault ("solver_error", "latency_spike",
 	// "predictor_outage", "predictor_corrupt"); Value carries its
 	// magnitude where meaningful (spike duration, arrival shift).
 	EvFaultInjected EventType = "fault_injected"
+	// EvDecision: the per-activation decision-provenance record, emitted
+	// after the admit/reject event of the same request when
+	// sim.Config.Provenance is on. Req/Task are the request; Res is the
+	// admitted resource or -1; Value is the decision energy when admitted;
+	// Reason repeats the admit/reject reason; Prov carries the full causal
+	// record (solver-chain hops, candidate verdicts, regret picks, B&B
+	// statistics, remap deltas).
+	EvDecision EventType = "decision"
 )
 
 // KnownEventTypes returns every event type internal/sim emits, in schema
@@ -108,7 +116,7 @@ func KnownEventTypes() []EventType {
 		EvAdmit, EvReject, EvMigration, EvCriticalRelease,
 		EvReservationPlanned, EvReservationHonoured, EvReservationBackfilled,
 		EvJobStart, EvJobPreempt, EvJobFinish,
-		EvSolverFallback, EvFaultInjected,
+		EvSolverFallback, EvFaultInjected, EvDecision,
 	}
 }
 
@@ -132,8 +140,12 @@ type Event struct {
 	// WallNs is measured wall-clock time in nanoseconds. It is the only
 	// nondeterministic field; golden tests must clear it.
 	WallNs int64 `json:"wall_ns,omitempty"`
-	// Reason is a short machine-readable cause.
+	// Reason is a machine-readable cause from the enumerated vocabulary
+	// (see reason.go and KnownReason).
 	Reason string `json:"reason,omitempty"`
+	// Prov is the decision-provenance record of an EvDecision event; nil
+	// on every other event type (and whenever provenance is disabled).
+	Prov *Provenance `json:"prov,omitempty"`
 }
 
 // NewEvent builds an event at simulated time t with the request/task/

@@ -3,6 +3,7 @@ package traceview
 import (
 	"fmt"
 	"io"
+	"sort"
 
 	"predrm/internal/metrics"
 )
@@ -28,6 +29,9 @@ type Summary struct {
 	// Solver latency percentiles in seconds.
 	SolverP50, SolverP95, SolverMax float64
 	InFlightPeak                    int
+	// AdmitReasons and RejectReasons histogram the enumerated decision
+	// reasons (telemetry reason vocabulary) over the decided requests.
+	AdmitReasons, RejectReasons map[string]int
 }
 
 // Summarize condenses the timeline.
@@ -42,15 +46,23 @@ func (tl *Timeline) Summarize() Summary {
 		ResvBackfilled:  tl.ResvBackfilled,
 		InFlightPeak:    tl.InFlightPeak(),
 	}
+	s.AdmitReasons = make(map[string]int)
+	s.RejectReasons = make(map[string]int)
 	for _, o := range tl.Requests {
 		if o.HasArrival {
 			s.Requests++
 		}
 		if o.Admitted {
 			s.Admitted++
+			if o.AdmitReason != "" {
+				s.AdmitReasons[o.AdmitReason]++
+			}
 		}
 		if o.Rejected {
 			s.Rejected++
+			if o.RejectReason != "" {
+				s.RejectReasons[o.RejectReason]++
+			}
 		}
 		s.Migrations += o.Migrations
 		if o.Finished && o.HasArrival {
@@ -111,7 +123,17 @@ func WriteDiff(w io.Writer, labelA string, a Summary, labelB string, b Summary) 
 		{"solver max", a.SolverMax * 1e6, b.SolverMax * 1e6, " µs", false},
 		{"in-flight peak", float64(a.InFlightPeak), float64(b.InFlightPeak), "", true},
 	}
-	if _, err := fmt.Fprintf(w, "%-18s %16s %16s %16s\n", "metric", labelA, labelB, "delta (b-a)"); err != nil {
+	// Reason-level comparison: one row per enumerated decision reason seen
+	// in either trace, in sorted order for deterministic output.
+	for _, reason := range unionReasons(a.AdmitReasons, b.AdmitReasons) {
+		rows = append(rows, rowSpec{"admit: " + reason,
+			float64(a.AdmitReasons[reason]), float64(b.AdmitReasons[reason]), "", true})
+	}
+	for _, reason := range unionReasons(a.RejectReasons, b.RejectReasons) {
+		rows = append(rows, rowSpec{"reject: " + reason,
+			float64(a.RejectReasons[reason]), float64(b.RejectReasons[reason]), "", true})
+	}
+	if _, err := fmt.Fprintf(w, "%-26s %16s %16s %16s\n", "metric", labelA, labelB, "delta (b-a)"); err != nil {
 		return err
 	}
 	fmtv := func(v float64, r rowSpec) string {
@@ -126,10 +148,30 @@ func WriteDiff(w io.Writer, labelA string, a Summary, labelB string, b Summary) 
 		if delta > 0 {
 			sign = "+"
 		}
-		if _, err := fmt.Fprintf(w, "%-18s %16s %16s %15s\n",
+		if _, err := fmt.Fprintf(w, "%-26s %16s %16s %15s\n",
 			r.name, fmtv(r.a, r), fmtv(r.b, r), sign+fmtv(delta, r)); err != nil {
 			return err
 		}
 	}
 	return nil
+}
+
+// unionReasons returns the sorted union of the reason keys of a and b.
+func unionReasons(a, b map[string]int) []string {
+	seen := make(map[string]bool, len(a)+len(b))
+	var out []string
+	for r := range a {
+		if !seen[r] {
+			seen[r] = true
+			out = append(out, r)
+		}
+	}
+	for r := range b {
+		if !seen[r] {
+			seen[r] = true
+			out = append(out, r)
+		}
+	}
+	sort.Strings(out)
+	return out
 }

@@ -1,0 +1,189 @@
+package traceview
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"predrm/internal/telemetry"
+)
+
+// goldenTimeline loads the simulator's golden trace (recorded with
+// provenance enabled) and builds its timeline.
+func goldenTimeline(t *testing.T) *Timeline {
+	t.Helper()
+	d, err := ReadFile("../sim/testdata/events.golden.jsonl")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(d.Diags) != 0 {
+		t.Fatalf("golden trace has diagnostics: %v", d.Diags)
+	}
+	return BuildTimeline(d)
+}
+
+// TestExplainGoldenRejections checks the acceptance criterion: every
+// rejection in the golden trace reconstructs into a complete decision
+// narrative — a per-candidate feasibility verdict and the solver-chain
+// hops — not just the terminal reason string.
+func TestExplainGoldenRejections(t *testing.T) {
+	tl := goldenTimeline(t)
+	rejected := tl.RejectedRequests()
+	if len(rejected) == 0 {
+		t.Fatal("golden trace has no rejections; the fixture should produce some")
+	}
+	for _, req := range rejected {
+		x, err := Explain(tl, req)
+		if err != nil {
+			t.Fatalf("request %d: %v", req, err)
+		}
+		if x.Prov == nil {
+			t.Fatalf("request %d: no provenance record attached to the rejection", req)
+		}
+		if len(x.Prov.Attempts) == 0 {
+			t.Errorf("request %d: no protocol attempts recorded", req)
+		}
+		if len(x.Prov.Stages) == 0 {
+			t.Errorf("request %d: no solver-chain hops recorded", req)
+		}
+		if len(x.Prov.Candidates) == 0 {
+			t.Errorf("request %d: no candidate feasibility verdicts recorded", req)
+		}
+
+		var buf bytes.Buffer
+		if err := WriteExplanation(&buf, x); err != nil {
+			t.Fatalf("request %d: render: %v", req, err)
+		}
+		text := buf.String()
+		for _, want := range []string{
+			"REJECTED", string(telemetry.ReasonNoFeasibleMapping),
+			"solver chain:", "candidate feasibility verdicts:",
+			"admission protocol",
+		} {
+			if !strings.Contains(text, want) {
+				t.Errorf("request %d: explanation missing %q:\n%s", req, want, text)
+			}
+		}
+		// The narrative names a concrete per-candidate cause, not a bare
+		// outcome: at least one exclusion verdict must appear.
+		if !strings.Contains(text, string(telemetry.VerdictEDFInfeasible)) &&
+			!strings.Contains(text, string(telemetry.VerdictNoCapacity)) &&
+			!strings.Contains(text, string(telemetry.VerdictNotExecutable)) {
+			t.Errorf("request %d: no exclusion verdict in narrative:\n%s", req, text)
+		}
+	}
+}
+
+// TestExplainGoldenAdmissions checks admitted requests render with their
+// chosen resource and placement order.
+func TestExplainGoldenAdmissions(t *testing.T) {
+	tl := goldenTimeline(t)
+	checked := 0
+	for _, o := range tl.SortedRequests() {
+		if !o.Admitted {
+			continue
+		}
+		checked++
+		x, err := Explain(tl, o.Req)
+		if err != nil {
+			t.Fatalf("request %d: %v", o.Req, err)
+		}
+		var buf bytes.Buffer
+		if err := WriteExplanation(&buf, x); err != nil {
+			t.Fatal(err)
+		}
+		text := buf.String()
+		if !strings.Contains(text, "ADMITTED") {
+			t.Fatalf("request %d: missing ADMITTED header:\n%s", o.Req, text)
+		}
+		if x.Prov != nil && len(x.Prov.Picks) > 0 &&
+			!strings.Contains(text, "placement order") {
+			t.Errorf("request %d: picks recorded but not rendered:\n%s", o.Req, text)
+		}
+	}
+	if checked == 0 {
+		t.Fatal("golden trace has no admissions")
+	}
+}
+
+// TestExplainUnknownRequest checks the error paths.
+func TestExplainUnknownRequest(t *testing.T) {
+	tl := goldenTimeline(t)
+	if _, err := Explain(tl, 999_999); err == nil {
+		t.Fatal("want error for a request outside the trace")
+	}
+}
+
+// TestExplainWithoutProvenance checks the renderer degrades gracefully on
+// traces recorded with provenance off.
+func TestExplainWithoutProvenance(t *testing.T) {
+	tl := &Timeline{Requests: map[int]*RequestOutcome{
+		3: {Req: 3, Task: 1, Rejected: true,
+			RejectReason: string(telemetry.ReasonNoFeasibleMapping)},
+	}}
+	x, err := Explain(tl, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteExplanation(&buf, x); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "no provenance record") {
+		t.Fatalf("want pointer to enabling provenance, got:\n%s", buf.String())
+	}
+}
+
+// TestDecoderUnknownReason checks a free-text reason on a known event type
+// surfaces as the typed DiagUnknownReason diagnostic (and the event is
+// kept), while unknown event types skip reason validation.
+func TestDecoderUnknownReason(t *testing.T) {
+	stream := strings.Join([]string{
+		`{"seq":0,"t":1,"type":"reject","req":0,"task":1,"res":-1,"reason":"solver said no"}`,
+		`{"seq":1,"t":2,"type":"wormhole","req":-1,"task":-1,"res":-1,"reason":"free text"}`,
+		`{"seq":2,"t":3,"type":"reject","req":1,"task":1,"res":-1,"reason":"no_feasible_mapping"}`,
+	}, "\n") + "\n"
+	d, err := Read(strings.NewReader(stream))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(d.Events) != 3 {
+		t.Fatalf("got %d events, want 3 (unknown reasons keep the event)", len(d.Events))
+	}
+	var unknownReason []Diagnostic
+	for _, diag := range d.Diags {
+		if diag.Kind == DiagUnknownReason {
+			unknownReason = append(unknownReason, diag)
+		}
+	}
+	if len(unknownReason) != 1 {
+		t.Fatalf("want exactly one %v (line 1 only), got %v", DiagUnknownReason, d.Diags)
+	}
+	if unknownReason[0].Line != 1 {
+		t.Fatalf("diagnostic on line %d, want 1", unknownReason[0].Line)
+	}
+	if !strings.Contains(unknownReason[0].Detail, "solver said no") {
+		t.Fatalf("detail should quote the reason: %s", unknownReason[0].Detail)
+	}
+}
+
+// TestDiffReasonRows checks WriteDiff grows one row per decision reason
+// seen in either summary.
+func TestDiffReasonRows(t *testing.T) {
+	tl := goldenTimeline(t)
+	s := tl.Summarize()
+	if s.Rejected > 0 && len(s.RejectReasons) == 0 {
+		t.Fatal("summary lost the rejection reasons")
+	}
+	var buf bytes.Buffer
+	if err := WriteDiff(&buf, "a", s, "b", s); err != nil {
+		t.Fatal(err)
+	}
+	text := buf.String()
+	if !strings.Contains(text, "reject: "+string(telemetry.ReasonNoFeasibleMapping)) {
+		t.Fatalf("diff missing reject reason row:\n%s", text)
+	}
+	if !strings.Contains(text, "admit: ") {
+		t.Fatalf("diff missing admit reason rows:\n%s", text)
+	}
+}

@@ -46,6 +46,11 @@ const (
 	// when their windows overlap the next arrival — so this is a
 	// warning, not an error.
 	DiagTimeRegression
+	// DiagUnknownReason marks an event whose reason string is not in the
+	// enumerated vocabulary for its type (telemetry.KnownReason): a renamed
+	// constant, a free-text reason, or a foreign emitter. The event is
+	// kept.
+	DiagUnknownReason
 )
 
 // String names the kind.
@@ -61,6 +66,8 @@ func (k DiagKind) String() string {
 		return "sequence_regression"
 	case DiagTimeRegression:
 		return "time_regression"
+	case DiagUnknownReason:
+		return "unknown_reason"
 	default:
 		return fmt.Sprintf("DiagKind(%d)", int(k))
 	}
@@ -144,6 +151,14 @@ func (d *Decoder) Decode(raw []byte) (e telemetry.Event, diags []Diagnostic, ok 
 		diags = append(diags, Diagnostic{
 			Line: d.line, Seq: e.Seq, Kind: DiagUnknownEventType,
 			Detail: fmt.Sprintf("event type %q is not in the schema", e.Type),
+		})
+	} else if !telemetry.KnownReason(e.Type, e.Reason) {
+		// Only validate reasons on known types: a foreign type's reasons
+		// are not ours to judge, and the unknown-type diagnostic already
+		// flags the line.
+		diags = append(diags, Diagnostic{
+			Line: d.line, Seq: e.Seq, Kind: DiagUnknownReason,
+			Detail: fmt.Sprintf("reason %q is not in %q's vocabulary", e.Reason, e.Type),
 		})
 	}
 	switch {

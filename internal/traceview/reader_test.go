@@ -4,7 +4,6 @@ import (
 	"bytes"
 	"encoding/json"
 	"flag"
-	"fmt"
 	"math/rand"
 	"strings"
 	"testing"
@@ -19,6 +18,7 @@ var updateGolden = flag.Bool("update-golden", false, "rewrite testdata golden fi
 // just the simulator's.
 func randomEvents(r *rand.Rand, n int) []telemetry.Event {
 	types := telemetry.KnownEventTypes()
+	vocab := telemetry.ReasonVocabulary()
 	out := make([]telemetry.Event, n)
 	t := 0.0
 	for i := range out {
@@ -35,8 +35,10 @@ func randomEvents(r *rand.Rand, n int) []telemetry.Event {
 		}
 		e.Value = float64(r.Intn(1000)) / 8 // exactly representable
 		e.WallNs = int64(r.Intn(100_000))
-		if r.Intn(3) == 0 {
-			e.Reason = fmt.Sprintf("reason_%d", r.Intn(4))
+		// Reasons must come from the type's enumerated vocabulary; the
+		// reader flags anything else as a DiagUnknownReason.
+		if reasons := vocab[e.Type]; len(reasons) > 0 && r.Intn(3) == 0 {
+			e.Reason = reasons[r.Intn(len(reasons))]
 		}
 		out[i] = e
 	}

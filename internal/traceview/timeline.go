@@ -49,6 +49,11 @@ type RequestOutcome struct {
 	AdmitRes    int
 	AdmitReason string
 	Rejected    bool
+	// RejectReason is the enumerated rejection cause from the reject event.
+	RejectReason string
+	// Decision points at the request's decision-provenance record
+	// (EvDecision), when the trace was recorded with provenance on.
+	Decision *telemetry.Event
 	// Executed reports whether any job_start names this request.
 	Executed bool
 	// Finished reports a job_finish; FinishTime its time and Energy the
@@ -163,7 +168,12 @@ func BuildTimeline(d *Decoded) *Timeline {
 			o.AdmitReason = e.Reason
 			step(e.T, +1)
 		case telemetry.EvReject:
-			tl.request(e.Req, e.Task).Rejected = true
+			o := tl.request(e.Req, e.Task)
+			o.Rejected = true
+			o.RejectReason = e.Reason
+		case telemetry.EvDecision:
+			e := e
+			tl.request(e.Req, e.Task).Decision = &e
 		case telemetry.EvMigration:
 			o := tl.request(e.Req, -1)
 			o.Migrations++
