@@ -1,7 +1,7 @@
 GO ?= go
 GOFMT ?= gofmt
 
-.PHONY: check build test vet fmtcheck race bench benchcheck tracecheck faultcheck obscheck explaincheck
+.PHONY: check build test vet fmtcheck race bench benchcheck tracecheck faultcheck obscheck explaincheck warmcheck
 
 # check is the repo gate: vet, formatting, build everything, run the full
 # test suite under the race detector (the telemetry layer and the parallel
@@ -10,9 +10,10 @@ GOFMT ?= gofmt
 # the golden trace with the replay checker, gate the hot-path benchmarks
 # against the committed baseline (skip: BENCHCHECK=0), smoke the
 # fault-injection resilience path (skip: FAULTCHECK=0), exercise the live
-# introspection plane end to end (skip: OBSCHECK=0), and exercise the
-# decision-provenance plane (skip: EXPLAINCHECK=0).
-check: vet fmtcheck build race tracecheck benchcheck faultcheck obscheck explaincheck
+# introspection plane end to end (skip: OBSCHECK=0), exercise the
+# decision-provenance plane (skip: EXPLAINCHECK=0), and prove warm-start
+# solving decision-neutral (skip: WARMCHECK=0).
+check: vet fmtcheck build race tracecheck benchcheck faultcheck obscheck explaincheck warmcheck
 
 # fmtcheck fails when any Go file is not gofmt-formatted (gofmt -l output
 # is the offending file list).
@@ -52,8 +53,8 @@ benchcheck:
 	@if [ "$(BENCHCHECK)" = "0" ]; then \
 		echo "benchcheck: skipped (BENCHCHECK=0)"; \
 	else \
-		$(GO) test -run='^$$' -bench='HeuristicSolve|OptimalSolve|ResourceFeasible|SimulateEDF|FeasibleSorted' -benchmem \
-			./internal/sched/ ./internal/exact/ | $(GO) run ./cmd/benchjson -out= -compare BENCH.json; \
+		$(GO) test -run='^$$' -bench='HeuristicSolve|HeuristicRepair|OptimalSolve|OptimalWarmStart|ResourceFeasible|SimulateEDF|FeasibleSorted' -benchmem \
+			./internal/sched/ ./internal/exact/ ./internal/core/ | $(GO) run ./cmd/benchjson -out= -compare BENCH.json; \
 	fi
 
 # tracecheck replays the golden event trace through the auditor: the
@@ -103,4 +104,20 @@ explaincheck:
 	else \
 		$(GO) test -run 'Explain|Provenance|Reason|DecisionEvent|GateRegex|UnknownReason' \
 			./internal/telemetry/ ./internal/core/ ./internal/sched/ ./internal/sim/ ./internal/traceview/ ./internal/meta/; \
+	fi
+
+# warmcheck proves warm-start solving is a speed knob, not a behaviour
+# knob, under the race detector: the exact solver's warm-vs-cold
+# differential (serial, parallel, and crossed modes), the repair engine's
+# feasibility property, the fingerprint-churn property behind the
+# cross-activation cache, and the end-to-end grid/trace identity checks.
+# CI runs this leg under GOMAXPROCS={1,4}; it honours whatever the
+# environment sets. Set WARMCHECK=0 to skip.
+WARMCHECK ?= 1
+warmcheck:
+	@if [ "$(WARMCHECK)" = "0" ]; then \
+		echo "warmcheck: skipped (WARMCHECK=0)"; \
+	else \
+		$(GO) test -race -run 'WarmStart|WarmState|Repair|FingerprintChurn|ParallelMatchesSerial' \
+			./internal/sched/ ./internal/core/ ./internal/exact/ ./internal/experiments/; \
 	fi

@@ -13,10 +13,12 @@
 // parsed results are checked against a previously written baseline, and
 // any hot-path benchmark (selected by -hot) that got slower than
 // -ns-threshold, or that allocates more per op than it used to, fails the
-// run with a non-zero exit. Baseline-only benchmarks are skipped, so a
-// subset run can be gated against a full baseline; hot benchmarks missing
-// from the baseline are reported as NEW and pass, so adding a benchmark
-// does not fail the gate before the baseline is regenerated:
+// run with a non-zero exit. Hot benchmarks missing from the baseline are
+// reported as NEW and pass, so adding a benchmark does not fail the gate
+// before the baseline is regenerated. Baseline-only hot benchmarks are
+// reported as MISSING and warn by default — a subset run can be gated
+// against a full baseline — and fail the run under -fail-missing, which
+// catches a hot benchmark being silently dropped or renamed:
 //
 //	go test -bench='HeuristicSolve' -benchmem ./internal/exact/ |
 //	    benchjson -out= -compare BENCH.json
@@ -29,6 +31,7 @@ import (
 	"fmt"
 	"os"
 	"regexp"
+	"sort"
 	"strconv"
 	"strings"
 )
@@ -39,7 +42,7 @@ import (
 // Only the workers=1 case of the parallel solver is gated: multi-worker
 // timings depend on goroutine scheduling and swing well past the noise
 // threshold on small or contended machines, so gating them just flakes.
-const defaultHot = `^(HeuristicSolve|OptimalSolve|OptimalSolveParallel/workers=1|Run|ResourceFeasible|SimulateEDF|FeasibleSorted)($|/)`
+const defaultHot = `^(HeuristicSolve|HeuristicRepair|OptimalSolve|OptimalSolveParallel/workers=1|OptimalWarmStart|Run|ResourceFeasible|SimulateEDF|FeasibleSorted)($|/)`
 
 // Benchmark is one parsed result line.
 type Benchmark struct {
@@ -62,6 +65,7 @@ func main() {
 	compareWith := flag.String("compare", "", "baseline JSON to gate against; regressions exit non-zero")
 	nsThreshold := flag.Float64("ns-threshold", 0.15, "allowed fractional ns/op increase on hot benchmarks")
 	hot := flag.String("hot", defaultHot, "regexp selecting the hot-path benchmarks the gate applies to")
+	failMissing := flag.Bool("fail-missing", false, "treat hot baseline benchmarks missing from the run as regressions (default: warn only, so a package-subset run can be gated against a full baseline)")
 	flag.Parse()
 
 	hotRe, err := regexp.Compile(*hot)
@@ -106,12 +110,20 @@ func main() {
 		if err != nil {
 			fatalf("%v", err)
 		}
-		regressions, compared, fresh := compare(baseline, benches, hotRe, *nsThreshold)
+		regressions, compared, fresh, missing := compare(baseline, benches, hotRe, *nsThreshold)
 		if compared == 0 && len(fresh) == 0 {
 			fatalf("compare %s: no hot benchmarks in common with the baseline", *compareWith)
 		}
 		for _, name := range fresh {
 			fmt.Fprintf(os.Stderr, "benchjson: NEW: %s (not in baseline, no gate applied — refresh the baseline to start gating it)\n", name)
+		}
+		for _, name := range missing {
+			if *failMissing {
+				regressions = append(regressions, fmt.Sprintf(
+					"%s: in the baseline but missing from this run (-fail-missing)", name))
+			} else {
+				fmt.Fprintf(os.Stderr, "benchjson: MISSING: %s (in the baseline but not in this run — a dropped or renamed hot benchmark evades the gate; expected for package-subset runs)\n", name)
+			}
 		}
 		for _, msg := range regressions {
 			fmt.Fprintf(os.Stderr, "benchjson: REGRESSION: %s\n", msg)
@@ -120,8 +132,8 @@ func main() {
 			fatalf("%d regression(s) vs %s (threshold +%.0f%% ns/op, +0 allocs/op)",
 				len(regressions), *compareWith, *nsThreshold*100)
 		}
-		fmt.Fprintf(os.Stderr, "benchjson: %d hot benchmark(s) within budget of %s, %d new\n",
-			compared, *compareWith, len(fresh))
+		fmt.Fprintf(os.Stderr, "benchjson: %d hot benchmark(s) within budget of %s, %d new, %d baseline-only\n",
+			compared, *compareWith, len(fresh), len(missing))
 	}
 }
 
@@ -143,22 +155,29 @@ func loadBaseline(path string) ([]Benchmark, error) {
 // compare gates cur against base: for every hot benchmark present on both
 // sides, the ns/op may not grow by more than nsThreshold (fractional) and
 // allocs/op may not grow at all. It returns the regression descriptions,
-// the number of benchmarks actually compared, and the hot benchmarks that
-// are new — present in cur but absent from the baseline. New benchmarks
-// pass (there is nothing to regress against yet); baseline-only benchmarks
-// are ignored so a subset run can be gated against a full baseline.
-func compare(base, cur []Benchmark, hot *regexp.Regexp, nsThreshold float64) (regressions []string, compared int, fresh []string) {
+// the number of benchmarks actually compared, the hot benchmarks that are
+// new — present in cur but absent from the baseline — and the hot
+// benchmarks that are missing — present in the baseline but absent from
+// cur. New benchmarks pass (there is nothing to regress against yet).
+// Missing ones are the caller's call: a package-subset run legitimately
+// skips baseline benchmarks, but a silently dropped or renamed hot
+// benchmark evades the gate, so they are at least reported (-fail-missing
+// upgrades them to failures).
+func compare(base, cur []Benchmark, hot *regexp.Regexp, nsThreshold float64) (regressions []string, compared int, fresh, missing []string) {
 	old := make(map[string]Benchmark, len(base))
 	for _, b := range base {
 		old[b.Pkg+"."+b.Name] = b
 	}
+	seen := make(map[string]bool, len(cur))
 	for _, b := range cur {
 		if !hot.MatchString(b.Name) {
 			continue
 		}
-		prev, ok := old[b.Pkg+"."+b.Name]
+		key := b.Pkg + "." + b.Name
+		seen[key] = true
+		prev, ok := old[key]
 		if !ok {
-			fresh = append(fresh, b.Pkg+"."+b.Name)
+			fresh = append(fresh, key)
 			continue
 		}
 		compared++
@@ -174,7 +193,14 @@ func compare(base, cur []Benchmark, hot *regexp.Regexp, nsThreshold float64) (re
 				b.Pkg, b.Name, *b.AllocsPerOp, *prev.AllocsPerOp))
 		}
 	}
-	return regressions, compared, fresh
+	for _, b := range base {
+		key := b.Pkg + "." + b.Name
+		if hot.MatchString(b.Name) && !seen[key] {
+			missing = append(missing, key)
+		}
+	}
+	sort.Strings(missing)
+	return regressions, compared, fresh, missing
 }
 
 // parseBench decodes one "BenchmarkX-8  N  T ns/op [B B/op  A allocs/op]"

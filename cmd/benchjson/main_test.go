@@ -41,15 +41,15 @@ func TestCompareGate(t *testing.T) {
 			{Pkg: "p", Name: "HeuristicSolve", NsPerOp: 560, AllocsPerOp: i64(1)}, // +12% < +15%
 			{Pkg: "p", Name: "ResourceFeasible/preemptable-allready", NsPerOp: 69, AllocsPerOp: i64(0)},
 		}
-		regs, compared, fresh := compare(base, cur, hot, 0.15)
-		if len(regs) != 0 || compared != 2 || len(fresh) != 0 {
-			t.Fatalf("regs=%v compared=%d fresh=%v", regs, compared, fresh)
+		regs, compared, fresh, missing := compare(base, cur, hot, 0.15)
+		if len(regs) != 0 || compared != 2 || len(fresh) != 0 || len(missing) != 0 {
+			t.Fatalf("regs=%v compared=%d fresh=%v missing=%v", regs, compared, fresh, missing)
 		}
 	})
 
 	t.Run("ns-regression", func(t *testing.T) {
 		cur := []Benchmark{{Pkg: "p", Name: "HeuristicSolve", NsPerOp: 600, AllocsPerOp: i64(1)}} // +20%
-		regs, _, _ := compare(base, cur, hot, 0.15)
+		regs, _, _, _ := compare(base, cur, hot, 0.15)
 		if len(regs) != 1 || !strings.Contains(regs[0], "ns/op") {
 			t.Fatalf("regs=%v", regs)
 		}
@@ -57,7 +57,7 @@ func TestCompareGate(t *testing.T) {
 
 	t.Run("alloc-regression", func(t *testing.T) {
 		cur := []Benchmark{{Pkg: "p", Name: "HeuristicSolve", NsPerOp: 500, AllocsPerOp: i64(2)}}
-		regs, _, _ := compare(base, cur, hot, 0.15)
+		regs, _, _, _ := compare(base, cur, hot, 0.15)
 		if len(regs) != 1 || !strings.Contains(regs[0], "allocs/op") {
 			t.Fatalf("regs=%v", regs)
 		}
@@ -67,18 +67,27 @@ func TestCompareGate(t *testing.T) {
 		cur := []Benchmark{
 			{Pkg: "p", Name: "Fig2a", NsPerOp: 5000, AllocsPerOp: i64(90)}, // not hot
 			{Pkg: "p", Name: "HeuristicSolve", NsPerOp: 500, AllocsPerOp: i64(1)},
+			{Pkg: "p", Name: "ResourceFeasible/preemptable-allready", NsPerOp: 69, AllocsPerOp: i64(0)},
 		}
-		regs, compared, fresh := compare(base, cur, hot, 0.15)
-		if len(regs) != 0 || compared != 1 || len(fresh) != 0 {
-			t.Fatalf("regs=%v compared=%d fresh=%v", regs, compared, fresh)
+		regs, compared, fresh, missing := compare(base, cur, hot, 0.15)
+		if len(regs) != 0 || compared != 2 || len(fresh) != 0 || len(missing) != 0 {
+			t.Fatalf("regs=%v compared=%d fresh=%v missing=%v", regs, compared, fresh, missing)
 		}
 	})
 
-	t.Run("baseline-only-benchmarks-skipped", func(t *testing.T) {
+	t.Run("baseline-only-hot-benchmarks-reported-missing", func(t *testing.T) {
+		// A hot benchmark in the baseline but absent from the run must not
+		// regress the gate (a package-subset run legitimately skips some),
+		// but it must be surfaced so a silently dropped or renamed hot
+		// benchmark does not evade the gate forever. Cold baseline-only
+		// benchmarks (Fig2a) stay out of the missing list entirely.
 		cur := []Benchmark{{Pkg: "p", Name: "HeuristicSolve", NsPerOp: 500, AllocsPerOp: i64(1)}}
-		regs, compared, fresh := compare(base, cur, hot, 0.15)
+		regs, compared, fresh, missing := compare(base, cur, hot, 0.15)
 		if len(regs) != 0 || compared != 1 || len(fresh) != 0 {
 			t.Fatalf("regs=%v compared=%d fresh=%v", regs, compared, fresh)
+		}
+		if len(missing) != 1 || missing[0] != "p.ResourceFeasible/preemptable-allready" {
+			t.Fatalf("missing=%v", missing)
 		}
 	})
 
@@ -87,7 +96,7 @@ func TestCompareGate(t *testing.T) {
 		// OptimalSolveParallel case — must be reported as new, not gated,
 		// even when it would trivially "regress" against nothing.
 		cur := []Benchmark{{Pkg: "p", Name: "OptimalSolveParallel/workers=1", NsPerOp: 1e9, AllocsPerOp: i64(99)}}
-		regs, compared, fresh := compare(base, cur, hot, 0.15)
+		regs, compared, fresh, _ := compare(base, cur, hot, 0.15)
 		if len(regs) != 0 || compared != 0 {
 			t.Fatalf("regs=%v compared=%d", regs, compared)
 		}
@@ -100,7 +109,7 @@ func TestCompareGate(t *testing.T) {
 		// Multi-worker timings are goroutine-scheduling noise on small
 		// machines; only workers=1 is in the hot set.
 		cur := []Benchmark{{Pkg: "p", Name: "OptimalSolveParallel/workers=4", NsPerOp: 1e9, AllocsPerOp: i64(99)}}
-		regs, compared, fresh := compare(base, cur, hot, 0.15)
+		regs, compared, fresh, _ := compare(base, cur, hot, 0.15)
 		if len(regs) != 0 || compared != 0 || len(fresh) != 0 {
 			t.Fatalf("regs=%v compared=%d fresh=%v", regs, compared, fresh)
 		}
@@ -108,9 +117,21 @@ func TestCompareGate(t *testing.T) {
 
 	t.Run("missing-benchmem-tolerated", func(t *testing.T) {
 		cur := []Benchmark{{Pkg: "p", Name: "HeuristicSolve", NsPerOp: 510}}
-		regs, compared, _ := compare(base, cur, hot, 0.15)
+		regs, compared, _, _ := compare(base, cur, hot, 0.15)
 		if len(regs) != 0 || compared != 1 {
 			t.Fatalf("regs=%v compared=%d", regs, compared)
+		}
+	})
+
+	t.Run("warmstart-benchmarks-are-hot", func(t *testing.T) {
+		// The repair/warm-start benchmarks gate the delta-solve fast path;
+		// they must be inside the default hot set including sub-benchmarks.
+		for _, name := range []string{
+			"HeuristicRepair/repair", "HeuristicRepair", "OptimalWarmStart/warm",
+		} {
+			if !hot.MatchString(name) {
+				t.Fatalf("%s not matched by defaultHot", name)
+			}
 		}
 	})
 }

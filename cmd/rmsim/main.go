@@ -45,6 +45,7 @@ import (
 	"predrm/internal/platform"
 	"predrm/internal/predict"
 	"predrm/internal/rng"
+	"predrm/internal/sched"
 	"predrm/internal/sim"
 	"predrm/internal/task"
 	"predrm/internal/telemetry"
@@ -57,6 +58,7 @@ func main() {
 		setPath   = flag.String("taskset", "", "task-set JSON file written by tracegen (empty: generate from -seed)")
 		engine    = flag.String("engine", "heuristic", "mapping engine: heuristic, greedy, or milp")
 		exactWork = flag.Int("exact-workers", 0, "search goroutines for -engine milp (0 or 1: serial; results are identical either way)")
+		warmStart = flag.Bool("warmstart", true, "reuse the previous activation's work: the milp engine repairs its last mapping into a pruning bound, the heuristic engines cache EDF probe verdicts across activations; decisions are identical either way")
 		usePred   = flag.Bool("predict", false, "enable the oracle predictor")
 		accuracy  = flag.Float64("accuracy", 1.0, "oracle task-type accuracy in [0,1]")
 		timeErr   = flag.Float64("time-error", 0, "oracle arrival-time normalized RMSE")
@@ -145,13 +147,17 @@ func main() {
 		WorkConserving:  *workCons,
 		RecordExecution: *showGantt > 0,
 	}
+	var warmCache *sched.FeasCache
+	if *warmStart && *engine != "milp" {
+		warmCache = sched.NewFeasCache(0)
+	}
 	switch *engine {
 	case "heuristic":
-		cfg.Solver = &core.Heuristic{}
+		cfg.Solver = &core.Heuristic{Cache: warmCache}
 	case "greedy":
-		cfg.Solver = &core.Heuristic{Greedy: true}
+		cfg.Solver = &core.Heuristic{Greedy: true, Cache: warmCache}
 	case "milp":
-		cfg.Solver = &exact.Optimal{Workers: *exactWork}
+		cfg.Solver = &exact.Optimal{Workers: *exactWork, WarmStart: *warmStart}
 	default:
 		fatalf("unknown engine %q", *engine)
 	}
@@ -327,6 +333,16 @@ func main() {
 			fmt.Printf("feascache:        %.1f%% hit rate (%d hits, %d misses)\n",
 				100*float64(c["exact.cache.hits"])/float64(probes),
 				c["exact.cache.hits"], c["exact.cache.misses"])
+		}
+		if probes := c["core.cache.hits"] + c["core.cache.misses"]; probes > 0 {
+			fmt.Printf("feascache:        %.1f%% hit rate (%d hits, %d misses; heuristic probe cache)\n",
+				100*float64(c["core.cache.hits"])/float64(probes),
+				c["core.cache.hits"], c["core.cache.misses"])
+		}
+		if attempts := c["exact.warmstart.attempts"]; attempts > 0 {
+			fmt.Printf("warmstart:        %.1f%% seed-feasible (%d/%d repairs), %d bound cuts\n",
+				100*float64(c["exact.warmstart.seeded"])/float64(attempts),
+				c["exact.warmstart.seeded"], attempts, c["exact.warmstart.bound_cuts"])
 		}
 	}
 	if plane != nil {

@@ -61,9 +61,21 @@ type Heuristic struct {
 	// schedulability machinery is unchanged.
 	Greedy bool
 
+	// Cache, when non-nil, routes the placement EDF probes through a
+	// cross-activation feasibility cache (sched.FeasCache) keyed by the
+	// PR 5 entry-list fingerprints. A cached verdict is by construction
+	// the verdict the probe would have computed, so decisions are
+	// unchanged — this is the heuristic's warm start: consecutive
+	// activations answer most probes from each other's work. Nil (the
+	// zero value) keeps the probes direct and pays nothing.
+	Cache *sched.FeasCache
+
 	// Telemetry instruments (nil-safe no-ops until AttachMetrics).
-	solves, infeasible *telemetry.Counter
-	problemJobs        *telemetry.Histogram
+	solves, infeasible   *telemetry.Counter
+	problemJobs          *telemetry.Histogram
+	repairs, repairFail  *telemetry.Counter
+	cacheHits, cacheMiss *telemetry.Counter
+	cacheRate            *telemetry.Gauge
 
 	// prov, when attached, records candidate feasibility verdicts and the
 	// regret placement order (nil-safe no-op otherwise; the hot path pays
@@ -88,6 +100,11 @@ type Heuristic struct {
 	second     []float64 // second-best desirability (+Inf when |F_j| == 1)
 	unassigned []int
 	pickSet    []int
+
+	// delta is the Repair scratch; hitsDelta/missDelta batch the cache
+	// probe statistics per solve (flushed into Cache and the instruments).
+	delta                sched.MappingDelta
+	hitsDelta, missDelta int64
 }
 
 var _ Solver = (*Heuristic)(nil)
@@ -95,11 +112,33 @@ var _ telemetry.Instrumentable = (*Heuristic)(nil)
 var _ telemetry.ProvenanceAware = (*Heuristic)(nil)
 
 // AttachMetrics registers the heuristic's instruments on reg: counters
-// core.solves and core.infeasible, histogram core.problem_jobs.
+// core.solves and core.infeasible, histogram core.problem_jobs, the
+// warm-start counters core.warmstart.repairs / core.warmstart.repair_fail
+// (Repair attempts and fallbacks), and the probe-cache counters
+// core.cache.hits / core.cache.misses plus the core.cache.hit_rate gauge
+// (all zero while Cache is nil).
 func (h *Heuristic) AttachMetrics(reg *telemetry.Registry) {
 	h.solves = reg.Counter("core.solves")
 	h.infeasible = reg.Counter("core.infeasible")
 	h.problemJobs = reg.Histogram("core.problem_jobs", telemetry.CountBuckets)
+	h.repairs = reg.Counter("core.warmstart.repairs")
+	h.repairFail = reg.Counter("core.warmstart.repair_fail")
+	h.cacheHits = reg.Counter("core.cache.hits")
+	h.cacheMiss = reg.Counter("core.cache.misses")
+	h.cacheRate = reg.Gauge("core.cache.hit_rate")
+}
+
+// flushCacheStats folds the batched probe counters into the cache and the
+// instruments. Cheap no-op without a cache.
+func (h *Heuristic) flushCacheStats() {
+	if h.Cache == nil {
+		return
+	}
+	h.Cache.AddStats(h.hitsDelta, h.missDelta)
+	h.cacheHits.Add(h.hitsDelta)
+	h.cacheMiss.Add(h.missDelta)
+	h.hitsDelta, h.missDelta = 0, 0
+	h.cacheRate.Set(h.Cache.Stats().HitRate())
 }
 
 // AttachProvenance installs the decision-provenance recorder
@@ -136,6 +175,7 @@ func (h *Heuristic) grow(m, n int) {
 func (h *Heuristic) Solve(p *sched.Problem) Decision {
 	h.solves.Inc()
 	h.problemJobs.Observe(float64(len(p.Jobs)))
+	h.Cache.Advance()
 	jobs := p.Jobs
 	m, n := len(jobs), p.Platform.Len()
 	h.p, h.n = p, n
@@ -153,6 +193,9 @@ func (h *Heuristic) Solve(p *sched.Problem) Decision {
 	for i := range capacity {
 		capacity[i] = window
 		h.lists[i].Reset()
+		if h.Cache != nil {
+			h.lists[i].EnableFingerprint(p.Time)
+		}
 	}
 
 	// Desirability f_{j,i} = ep + em + M·(cpm > t_left); +Inf when the
@@ -266,7 +309,8 @@ func (h *Heuristic) Solve(p *sched.Problem) Decision {
 				}
 				h.prov.Candidate(cv)
 			} else {
-				ok = h.lists[r].Feasible(preempt, p.Time, &h.edf)
+				ok = h.lists[r].FeasibleCached(preempt, p.Time, h.Cache, &h.edf,
+					&h.hitsDelta, &h.missDelta)
 			}
 			if ok {
 				mapping[jobIdx] = r
@@ -297,6 +341,7 @@ func (h *Heuristic) Solve(p *sched.Problem) Decision {
 		}
 	}
 
+	h.flushCacheStats()
 	out := append([]int(nil), mapping...)
 	return Decision{Mapping: out, Feasible: true, Energy: p.Energy(out)}
 }
@@ -366,6 +411,7 @@ func (h *Heuristic) invalidateColumn(r int, unassigned []int) {
 // resource picture for the job that could not be placed.
 func (h *Heuristic) fail(mapping []int, failJob int) Decision {
 	h.infeasible.Inc()
+	h.flushCacheStats()
 	if h.prov.Enabled() {
 		h.recordExcluded(failJob)
 	}

@@ -1,0 +1,242 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"predrm/internal/platform"
+	"predrm/internal/rng"
+	"predrm/internal/sched"
+	"predrm/internal/task"
+)
+
+// nextActivation advances p to its successor activation: the given mapping
+// is applied, each mapped job executes for a while (some to completion),
+// predicted jobs are discarded (a forecast is re-decided every time), and
+// addN fresh arrivals join. Surviving *Job pointers are carried over —
+// that is the identity WarmState matches on.
+func nextActivation(r *rng.Rand, p *sched.Problem, mapping []int, set *task.Set, nextID *int, addN int) *sched.Problem {
+	now := p.Time + r.Uniform(0.5, 2)
+	jobs := make([]*sched.Job, 0, len(p.Jobs)+addN)
+	for i, j := range p.Jobs {
+		if j.Predicted || mapping[i] == sched.Unmapped {
+			continue
+		}
+		j.Resource = mapping[i]
+		if r.Float64() < 0.3 {
+			continue // completed since the previous activation
+		}
+		if r.Float64() < 0.7 {
+			j.Started = true
+			j.ExecRes = j.Resource
+			j.Frac *= r.Uniform(0.4, 1)
+		}
+		if j.AbsDeadline <= now+sched.Eps {
+			continue // expired; the simulator would have dropped it
+		}
+		jobs = append(jobs, j)
+	}
+	for k := 0; k < addN; k++ {
+		ty := set.Type(r.Intn(set.Len()))
+		jobs = append(jobs, sched.NewJob(*nextID, ty, now, r.Uniform(20, 120)))
+		*nextID++
+	}
+	return &sched.Problem{Platform: p.Platform, Time: now, Jobs: jobs}
+}
+
+// TestRepairProducesFeasibleMappings: over random activation sequences,
+// every successful Repair must hand back a mapping that passes the
+// independent feasibility check, report its true energy, and keep every
+// retained free job exactly where the previous activation put it.
+func TestRepairProducesFeasibleMappings(t *testing.T) {
+	plat := platform.Default()
+	set, err := task.Generate(plat, task.DefaultGenConfig(), rng.New(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rng.New(17)
+	repaired, attempted := 0, 0
+	var delta sched.MappingDelta
+	for trial := 0; trial < 150; trial++ {
+		h := &Heuristic{Cache: sched.NewFeasCache(0)}
+		var ws sched.WarmState
+		p := randomProblem(r, plat, set)
+		nextID := 1000
+		for step := 0; step < 5; step++ {
+			d := h.Solve(p)
+			if !d.Feasible {
+				break
+			}
+			ws.Record(p, d.Mapping)
+			p = nextActivation(r, p, d.Mapping, set, &nextID, r.Intn(3))
+			attempted++
+			m, e, ok := h.Repair(p, &ws)
+			if !ok {
+				continue
+			}
+			repaired++
+			if !p.FeasibleMapping(m) {
+				t.Fatalf("trial %d step %d: repaired mapping %v not feasible", trial, step, m)
+			}
+			if got := p.Energy(m); math.Abs(got-e) > 1e-9 {
+				t.Fatalf("trial %d step %d: reported energy %v != %v", trial, step, e, got)
+			}
+			if !ws.Delta(p, &delta) {
+				t.Fatalf("trial %d step %d: warm state lost its recording", trial, step)
+			}
+			for i, j := range p.Jobs {
+				if prev := delta.PrevRes[i]; prev != sched.Unmapped &&
+					!j.Fixed && !j.Pinned(plat) && m[i] != prev {
+					t.Fatalf("trial %d step %d: retained job %d moved %d -> %d",
+						trial, step, i, prev, m[i])
+				}
+			}
+		}
+	}
+	if repaired == 0 {
+		t.Fatalf("no repair succeeded in %d attempts; sequence generator too harsh", attempted)
+	}
+	t.Logf("repaired %d/%d consecutive activations", repaired, attempted)
+}
+
+// TestRepairWithoutWarmState: an empty or nil warm state must fall back
+// immediately — there is nothing to repair from.
+func TestRepairWithoutWarmState(t *testing.T) {
+	h := &Heuristic{}
+	p := motivationalProblem(false)
+	var ws sched.WarmState
+	if _, _, ok := h.Repair(p, &ws); ok {
+		t.Fatal("Repair succeeded from an empty WarmState")
+	}
+	if _, _, ok := h.Repair(p, nil); ok {
+		t.Fatal("Repair succeeded from a nil WarmState")
+	}
+}
+
+// TestRepairDeltaGuard: when the activation delta exceeds repairMaxDelta,
+// retention covers too little of the problem and Repair must decline so
+// the caller re-solves in full.
+func TestRepairDeltaGuard(t *testing.T) {
+	ts := task.Motivational()
+	plat := platform.Motivational()
+	j1 := sched.NewJob(0, ts.Type(0), 0, 50)
+	p1 := &sched.Problem{Platform: plat, Time: 0, Jobs: []*sched.Job{j1}}
+	h := &Heuristic{}
+	d := h.Solve(p1)
+	if !d.Feasible {
+		t.Fatal("seed activation infeasible")
+	}
+	var ws sched.WarmState
+	ws.Record(p1, d.Mapping)
+
+	// Successor keeps j1 and adds five arrivals: delta 5 > repairMaxDelta(6)=4.
+	jobs := []*sched.Job{j1}
+	for i := 1; i <= 5; i++ {
+		jobs = append(jobs, sched.NewJob(i, ts.Type(0), 1, 50))
+	}
+	p2 := &sched.Problem{Platform: plat, Time: 1, Jobs: jobs}
+	if _, _, ok := h.Repair(p2, &ws); ok {
+		t.Fatal("Repair accepted a delta past the drift guard")
+	}
+
+	if got, want := repairMaxDelta(4), 4; got != want {
+		t.Fatalf("repairMaxDelta(4) = %d, want %d", got, want)
+	}
+	if got, want := repairMaxDelta(20), 10; got != want {
+		t.Fatalf("repairMaxDelta(20) = %d, want %d", got, want)
+	}
+}
+
+// TestRepairRetainedDeadlineMiss: a retained assignment that no longer
+// fits its deadline (the job aged past it without completing) must abort
+// the repair rather than hand back an infeasible mapping.
+func TestRepairRetainedDeadlineMiss(t *testing.T) {
+	ts := task.Motivational()
+	plat := platform.Motivational()
+	j1 := sched.NewJob(0, ts.Type(0), 0, 8)
+	p1 := &sched.Problem{Platform: plat, Time: 0, Jobs: []*sched.Job{j1}}
+	h := &Heuristic{}
+	d := h.Solve(p1)
+	if !d.Feasible {
+		t.Fatal("seed activation infeasible")
+	}
+	var ws sched.WarmState
+	ws.Record(p1, d.Mapping)
+
+	p2 := &sched.Problem{Platform: plat, Time: j1.AbsDeadline + 1, Jobs: []*sched.Job{j1}}
+	if _, _, ok := h.Repair(p2, &ws); ok {
+		t.Fatal("Repair retained an assignment past its deadline")
+	}
+}
+
+// benchActivationPair builds a steady-state consecutive activation pair:
+// p1 is a feasible 128-job activation (a loaded system, where delta-solving
+// pays), p2 its successor with a delta of one completion and one arrival.
+// Returns ok=false if the generator never hits a feasible seed
+// (deterministic, so this is a hard failure in practice).
+func benchActivationPair() (p1, p2 *sched.Problem, mapping []int, ok bool) {
+	plat := platform.Default()
+	set, err := task.Generate(plat, task.DefaultGenConfig(), rng.New(3))
+	if err != nil {
+		return nil, nil, nil, false
+	}
+	r := rng.New(41)
+	for attempt := 0; attempt < 100; attempt++ {
+		jobs := make([]*sched.Job, 128)
+		for i := range jobs {
+			ty := set.Type(r.Intn(set.Len()))
+			jobs[i] = sched.NewJob(i, ty, 0, r.Uniform(900, 1400))
+		}
+		p1 = &sched.Problem{Platform: plat, Time: 0, Jobs: jobs}
+		h := &Heuristic{}
+		d := h.Solve(p1)
+		if !d.Feasible {
+			continue
+		}
+		mapping = append([]int(nil), d.Mapping...)
+		next := append([]*sched.Job(nil), jobs[1:]...) // jobs[0] completed
+		arr := sched.NewJob(99, set.Type(r.Intn(set.Len())), 1.5, 120)
+		next = append(next, arr)
+		p2 = &sched.Problem{Platform: plat, Time: 1.5, Jobs: next}
+		return p1, p2, mapping, true
+	}
+	return nil, nil, nil, false
+}
+
+// BenchmarkHeuristicRepair compares delta-solving a successor activation
+// against re-running Algorithm 1 from scratch on it — the tentpole claim
+// is that repair costs proportional to the delta (here: one completion,
+// one arrival against 127 retained jobs), not the problem. The repair
+// path must stay allocation-free in steady state.
+func BenchmarkHeuristicRepair(b *testing.B) {
+	p1, p2, mapping, ok := benchActivationPair()
+	if !ok {
+		b.Fatal("no feasible steady-state activation pair found")
+	}
+
+	b.Run("full", func(b *testing.B) {
+		h := &Heuristic{}
+		if d := h.Solve(p2); !d.Feasible {
+			b.Fatal("successor activation infeasible for the cold solver")
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			h.Solve(p2)
+		}
+	})
+
+	b.Run("repair", func(b *testing.B) {
+		h := &Heuristic{Cache: sched.NewFeasCache(0)}
+		var ws sched.WarmState
+		ws.Record(p1, mapping)
+		if _, _, ok := h.Repair(p2, &ws); !ok {
+			b.Fatal("repair failed on the steady-state pair")
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			h.Repair(p2, &ws)
+		}
+	})
+}

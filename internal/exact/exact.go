@@ -48,6 +48,14 @@ type Stats struct {
 	Tasks int
 	// Workers is the number of search goroutines used (0 serial).
 	Workers int
+	// WarmSeeded reports whether the previous activation's mapping was
+	// repaired into a feasible solution of this problem and installed as
+	// the warm-start pruning bound (WarmStart field).
+	WarmSeeded bool
+	// WarmCuts counts subtrees cut by the warm-start bound alone — the
+	// incumbent bound had not pruned them. Like Nodes, parallel counts
+	// vary with scheduling; only the returned decision is deterministic.
+	WarmCuts int
 }
 
 // Optimal is the exact mapping solver. The zero value is ready to use.
@@ -76,6 +84,16 @@ type Optimal struct {
 	// calls, so consecutive RM activations — which share almost all of
 	// their admitted state — reuse each other's verdicts.
 	CacheSlots int
+	// WarmStart remembers each solve's mapping and, on the next solve,
+	// repairs it into a feasible solution of the new problem (surviving
+	// jobs matched by pointer, see sched.WarmState) whose energy becomes
+	// an additional pruning bound: subtrees whose optimistic completion is
+	// strictly worse than the repaired solution are cut before the search
+	// finds its own incumbent there. The bound is exclusive and never
+	// returnable, so a completed solve stays bit-identical to a cold start
+	// (DESIGN.md §10); only the node count — and therefore where a node or
+	// wall budget truncates — can differ.
+	WarmStart bool
 	// LastStats describes the most recent Solve call.
 	LastStats Stats
 
@@ -95,6 +113,8 @@ type Optimal struct {
 	mCacheHits, mCacheMisses         *telemetry.Counter
 	mCacheEvict                      *telemetry.Counter
 	gCacheRate                       *telemetry.Gauge
+	mWarmAttempts, mWarmSeeded       *telemetry.Counter
+	mWarmFail, mWarmCuts             *telemetry.Counter
 
 	// seeder warms the incumbent with Algorithm 1; reusing one instance
 	// keeps its scratch arena alive across solves.
@@ -129,6 +149,15 @@ type Optimal struct {
 	cand  [][]sched.Entry
 	candE [][]float64
 
+	// Warm-start state (WarmStart field): the previous activation's
+	// recorded mapping, the current solve's pruning bound (+Inf when
+	// absent — it is read-only during a search, so parallel workers share
+	// it without synchronisation), and the serial path's bound-cut count.
+	warm       sched.WarmState
+	warmBound  float64
+	warmSeeded bool
+	warmCuts   int
+
 	// Cross-activation feasibility cache (see CacheSlots) and the serial
 	// path's batched probe counters, flushed into the cache per Solve.
 	cache                *sched.FeasCache
@@ -141,23 +170,11 @@ type Optimal struct {
 }
 
 // feasibleList probes one entry list, going through the cache when
-// enabled. hits/misses batch the probe statistics caller-side so search
-// workers pay no per-probe atomics.
+// enabled (sched.EntryList.FeasibleCached). hits/misses batch the probe
+// statistics caller-side so search workers pay no per-probe atomics.
 func feasibleList(p *sched.Problem, l *sched.EntryList, res int, cache *sched.FeasCache,
 	edf *sched.EDFScratch, hits, misses *int64) bool {
-	preempt := p.Platform.Resource(res).Preemptable()
-	if cache == nil {
-		return l.Feasible(preempt, p.Time, edf)
-	}
-	fp := l.FeasFingerprint(preempt)
-	if v, ok := cache.Lookup(fp); ok {
-		*hits++
-		return v
-	}
-	*misses++
-	v := l.Feasible(preempt, p.Time, edf)
-	cache.Store(fp, v)
-	return v
+	return l.FeasibleCached(p.Platform.Resource(res).Preemptable(), p.Time, cache, edf, hits, misses)
 }
 
 // feasible checks resource res's current entry list on the serial path.
@@ -224,7 +241,10 @@ func (o *Optimal) BudgetUsed() core.BudgetUse {
 // (root subtree tasks per parallel solve) and exact.parallel.workers
 // (goroutines per parallel solve, gauge); the pruning cache adds
 // exact.cache.hits / exact.cache.misses / exact.cache.evictions and the
-// lifetime exact.cache.hit_rate gauge.
+// lifetime exact.cache.hit_rate gauge. Warm starting adds
+// exact.warmstart.attempts / .seeded (repairs that produced a bound — the
+// seed-feasible rate is their ratio) / .repair_fail / .bound_cuts
+// (subtrees cut by the warm bound alone, a nodes-saved proxy).
 func (o *Optimal) AttachMetrics(reg *telemetry.Registry) {
 	o.mSolves = reg.Counter("exact.solves")
 	o.mTruncated = reg.Counter("exact.truncated")
@@ -237,6 +257,10 @@ func (o *Optimal) AttachMetrics(reg *telemetry.Registry) {
 	o.mCacheMisses = reg.Counter("exact.cache.misses")
 	o.mCacheEvict = reg.Counter("exact.cache.evictions")
 	o.gCacheRate = reg.Gauge("exact.cache.hit_rate")
+	o.mWarmAttempts = reg.Counter("exact.warmstart.attempts")
+	o.mWarmSeeded = reg.Counter("exact.warmstart.seeded")
+	o.mWarmFail = reg.Counter("exact.warmstart.repair_fail")
+	o.mWarmCuts = reg.Counter("exact.warmstart.bound_cuts")
 }
 
 // Solve returns the minimum-energy feasible mapping of p, or an infeasible
@@ -257,6 +281,9 @@ func (o *Optimal) Solve(p *sched.Problem) core.Decision {
 	o.nodes = 0
 	o.found = false
 	o.bestE = math.Inf(1)
+	o.warmBound = math.Inf(1)
+	o.warmSeeded = false
+	o.warmCuts = 0
 
 	if o.cache == nil && o.CacheSlots >= 0 {
 		o.cache = sched.NewFeasCache(o.CacheSlots)
@@ -313,6 +340,12 @@ func (o *Optimal) Solve(p *sched.Problem) core.Decision {
 	// the first dive is a good incumbent.
 	o.prepareOrders(free)
 
+	// Warm start: repair the previous activation's mapping into a pruning
+	// bound for this one. Must follow prepareOrders (the bound is summed
+	// over candE in branching order) and precede the seeder, whose Solve
+	// resets the shared arena Repair borrows.
+	o.prepareWarmBound(pinnedEnergy)
+
 	// Seed the incumbent with the heuristic so exact is never worse and
 	// pruning starts strong.
 	h := o.seeder.Solve(p)
@@ -333,11 +366,14 @@ func (o *Optimal) Solve(p *sched.Problem) core.Decision {
 	}
 
 	o.LastStats = Stats{
-		Nodes:     o.nodes,
-		Truncated: o.nodes >= o.limit || o.wallHit,
-		Tasks:     tasks,
-		Workers:   workers,
+		Nodes:      o.nodes,
+		Truncated:  o.nodes >= o.limit || o.wallHit,
+		Tasks:      tasks,
+		Workers:    workers,
+		WarmSeeded: o.warmSeeded,
+		WarmCuts:   o.warmCuts,
 	}
+	o.mWarmCuts.Add(int64(o.warmCuts))
 	o.mSolves.Inc()
 	o.mNodes.Observe(float64(o.nodes))
 	if workers > 0 {
@@ -351,10 +387,63 @@ func (o *Optimal) Solve(p *sched.Problem) core.Decision {
 	o.recordBB()
 	o.flushCacheStats()
 	if !o.found {
+		// An infeasible solve records nothing: the previous state stays —
+		// surviving jobs still match by pointer on the next activation.
 		o.mInfeasible.Inc()
 		return core.Decision{Mapping: append([]int(nil), o.mapping...), Feasible: false}
 	}
+	if o.WarmStart {
+		o.warm.Record(p, o.bestMap)
+	}
 	return core.Decision{Mapping: append([]int(nil), o.bestMap...), Feasible: true, Energy: o.bestE}
+}
+
+// prepareWarmBound repairs the previous activation's recorded mapping
+// onto the current problem (via the seeder's Repair engine) and installs
+// its energy as the warm pruning bound. The repaired mapping itself is
+// deliberately NOT installed as an incumbent: an incumbent is returnable,
+// and returning it would make warm and cold solves diverge whenever the
+// repair beats the heuristic seed. As a non-returnable exclusive bound it
+// only removes subtrees whose every leaf is strictly worse than a known
+// feasible solution — leaves that can never be the returned decision —
+// which is what keeps completed solves bit-identical to cold starts
+// (DESIGN.md §10).
+func (o *Optimal) prepareWarmBound(pinnedEnergy float64) {
+	if !o.WarmStart || !o.warm.Valid() {
+		return
+	}
+	o.mWarmAttempts.Inc()
+	mapping, _, ok := o.seeder.Repair(o.p, &o.warm)
+	if !ok {
+		o.mWarmFail.Inc()
+		return
+	}
+	// Re-sum the repaired mapping's energy with the search's own float
+	// additions — pinned energy plus candE terms in branching-depth order
+	// — so the bound equals the repair leaf's in-search energy exactly and
+	// the exclusive comparison can never cut that leaf's own path.
+	u := pinnedEnergy
+	for d, jobIdx := range o.order {
+		r := mapping[jobIdx]
+		ri := -1
+		for k, rr := range o.resOrder[d] {
+			if rr == r {
+				ri = k
+				break
+			}
+		}
+		if ri < 0 {
+			// The repair placed a job outside the branchable resource set
+			// (possible for predicted jobs, whose constraint-(2) window is
+			// tighter under branching than under repair): no bound.
+			o.mWarmFail.Inc()
+			return
+		}
+		u += o.candE[d][ri]
+	}
+	o.warmBound = u
+	o.warmSeeded = true
+	o.mWarmSeeded.Inc()
 }
 
 // flushCacheStats folds the batched probe counters into the cache and the
@@ -460,7 +549,16 @@ func (o *Optimal) dfs(depth int, energy float64) {
 		return
 	}
 	// Bound: even the cheapest completion cannot beat the incumbent.
-	if energy+o.sufMinE[depth] >= o.bestE-sched.Eps {
+	lb := energy + o.sufMinE[depth]
+	if lb >= o.bestE-sched.Eps {
+		return
+	}
+	// Warm bound: every leaf below is strictly worse than the repaired
+	// previous-activation solution, so none can be the returned decision
+	// (the bound is exclusive — see prepareWarmBound). Checked after the
+	// incumbent so warmCuts counts only cuts the incumbent missed.
+	if lb > o.warmBound+sched.Eps {
+		o.warmCuts++
 		return
 	}
 	if depth == len(o.order) {

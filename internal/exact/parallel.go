@@ -77,6 +77,7 @@ type parWorker struct {
 	wallTick int64
 
 	hits, misses int64
+	warmCuts     int
 }
 
 // parSearch is the shared coordination state of one parallel solve.
@@ -182,7 +183,8 @@ func (o *Optimal) solveParallel(h core.Decision, pinnedEnergy float64) (tasks, w
 		w := ps.workers[i]
 		o.hitsDelta += w.hits
 		o.missDelta += w.misses
-		w.hits, w.misses = 0, 0
+		o.warmCuts += w.warmCuts
+		w.hits, w.misses, w.warmCuts = 0, 0, 0
 	}
 	if inc := ps.inc.Load(); inc != nil && !inc.seed {
 		o.found = true
@@ -300,7 +302,17 @@ func (o *Optimal) wdfs(w *parWorker, task, depth int, energy float64, limit int6
 	if ps.stop.Load() || !w.countNode(o, limit) {
 		return
 	}
-	if pruneBound(ps.inc.Load(), energy+o.sufMinE[depth], task) {
+	lb := energy + o.sufMinE[depth]
+	if pruneBound(ps.inc.Load(), lb, task) {
+		return
+	}
+	// Warm bound (see prepareWarmBound): read-only during the search, so
+	// workers share it lock-free; exclusive, so no potential total-order
+	// minimum is ever cut. Deliberately absent from splitRoot — the task
+	// set, and with it the task numbering the determinism argument orders
+	// leaves by, stays identical to a cold solve.
+	if lb > o.warmBound+sched.Eps {
+		w.warmCuts++
 		return
 	}
 	if depth == len(o.order) {

@@ -74,6 +74,14 @@ type Config struct {
 	// (0 = exact.DefaultNodeLimit). The solver stays anytime-optimal and
 	// never returns worse than the heuristic when truncated.
 	ExactNodeLimit int
+	// WarmStart lets solvers reuse the previous activation's work: the
+	// exact solver repairs its last mapping into a warm pruning bound
+	// (exact.Optimal.WarmStart) and the heuristic routes its EDF probes
+	// through a cross-activation feasibility cache (core.Heuristic.Cache).
+	// Both are decision-neutral — results are bit-identical either way
+	// (TestWarmStartMatchesCold) — so this is purely a speed knob, on by
+	// default via DefaultConfig and the cmd flags.
+	WarmStart bool
 	// Workers bounds concurrent trace simulations (0 = GOMAXPROCS).
 	Workers int
 	// Tracer, when non-nil, streams structured events from every
@@ -95,10 +103,11 @@ type Config struct {
 // minutes. Scale Traces/TraceLen up to the paper's 500x500 via cmd flags.
 func DefaultConfig() Config {
 	return Config{
-		Seed:     1,
-		Traces:   30,
-		TraceLen: 200,
-		Profile:  CalibratedProfile(),
+		Seed:      1,
+		Traces:    30,
+		TraceLen:  200,
+		Profile:   CalibratedProfile(),
+		WarmStart: true,
 	}
 }
 
@@ -236,11 +245,19 @@ func (g *grid) misses() int {
 func (c *Config) newSolver(e engine) core.Solver {
 	switch e {
 	case engineExact:
-		return &exact.Optimal{NodeLimit: c.ExactNodeLimit}
+		return &exact.Optimal{NodeLimit: c.ExactNodeLimit, WarmStart: c.WarmStart}
 	case engineGreedy:
-		return &core.Heuristic{Greedy: true}
+		h := &core.Heuristic{Greedy: true}
+		if c.WarmStart {
+			h.Cache = sched.NewFeasCache(0)
+		}
+		return h
 	default:
-		return &core.Heuristic{}
+		h := &core.Heuristic{}
+		if c.WarmStart {
+			h.Cache = sched.NewFeasCache(0)
+		}
+		return h
 	}
 }
 

@@ -203,6 +203,12 @@ type Status struct {
 	// FeasCache summarises the exact solver's cross-activation pruning
 	// cache (zero when the heuristic engine is running).
 	FeasCache CacheStatus `json:"feascache"`
+	// HeuristicCache summarises the heuristic's probe cache
+	// (core.Heuristic.Cache; zero unless warm-starting a heuristic engine).
+	HeuristicCache CacheStatus `json:"heuristic_cache"`
+	// Warmstart reports cross-activation warm-start activity: repair
+	// attempts and outcomes plus the warm bound's pruning work.
+	Warmstart WarmstartStatus `json:"warmstart"`
 	// Solver carries the resilience chain's fallback/budget counters.
 	Solver SolverStatus `json:"solver"`
 	// Reasons histograms the enumerated admission-decision reasons seen so
@@ -219,6 +225,19 @@ type CacheStatus struct {
 	Misses    int64   `json:"misses"`
 	HitRate   float64 `json:"hit_rate"`
 	Evictions int64   `json:"evictions"`
+}
+
+// WarmstartStatus aggregates the exact.warmstart.* and core.warmstart.*
+// counters: how often the previous activation's mapping was repaired into
+// a warm seed, how often repair fell back, and how many subtrees the warm
+// bound cut that the incumbent bound had missed.
+type WarmstartStatus struct {
+	Attempts       int64   `json:"attempts"`
+	Seeded         int64   `json:"seeded"`
+	SeedRate       float64 `json:"seed_rate"`
+	RepairFailed   int64   `json:"repair_failed"`
+	BoundCuts      int64   `json:"bound_cuts"`
+	HeuristicFails int64   `json:"heuristic_repair_failed"`
 }
 
 // SolverStatus aggregates solver activity and resilience counters.
@@ -261,6 +280,20 @@ func (p *Plane) CurrentStatus() Status {
 			Misses:    misses,
 			HitRate:   finiteOr(float64(hits)/float64(hits+misses), 0),
 			Evictions: c["exact.cache.evictions"],
+		}
+		hHits, hMisses := c["core.cache.hits"], c["core.cache.misses"]
+		st.HeuristicCache = CacheStatus{
+			Hits:    hHits,
+			Misses:  hMisses,
+			HitRate: finiteOr(float64(hHits)/float64(hHits+hMisses), 0),
+		}
+		st.Warmstart = WarmstartStatus{
+			Attempts:       c["exact.warmstart.attempts"],
+			Seeded:         c["exact.warmstart.seeded"],
+			SeedRate:       finiteOr(float64(c["exact.warmstart.seeded"])/float64(c["exact.warmstart.attempts"]), 0),
+			RepairFailed:   c["exact.warmstart.repair_fail"],
+			BoundCuts:      c["exact.warmstart.bound_cuts"],
+			HeuristicFails: c["core.warmstart.repair_fail"],
 		}
 		st.Solver = SolverStatus{
 			ExactSolves:     c["exact.solves"],

@@ -131,6 +131,33 @@ func (l *EntryList) Feasible(preemptable bool, t float64, s *EDFScratch) bool {
 	return ResourceFeasibleScratch(preemptable, t, l.entries, s)
 }
 
+// FeasibleCached is Feasible routed through a feasibility cache: the
+// list's incremental fingerprint keys a lookup, and only a miss runs the
+// actual check (whose verdict is then stored). A nil cache degrades to a
+// plain Feasible. hits/misses batch the probe statistics caller-side so
+// concurrent search workers pay no per-probe atomics. The list must have
+// fingerprinting enabled when cache is non-nil.
+//
+// A cached verdict is the verdict Feasible computed for an identical
+// normalised entry multiset, so routing probes through a cache never
+// changes a caller's decisions (modulo 128-bit fingerprint collisions,
+// which PR 5 already accepts for the exact solver).
+func (l *EntryList) FeasibleCached(preemptable bool, t float64, cache *FeasCache,
+	s *EDFScratch, hits, misses *int64) bool {
+	if cache == nil {
+		return l.Feasible(preemptable, t, s)
+	}
+	fp := l.FeasFingerprint(preemptable)
+	if v, ok := cache.Lookup(fp); ok {
+		*hits++
+		return v
+	}
+	*misses++
+	v := l.Feasible(preemptable, t, s)
+	cache.Store(fp, v)
+	return v
+}
+
 // Invariant checks the FeasibleSorted precondition — a pinned prefix
 // group, deadlines non-decreasing within each group — and the
 // future-release count against activation time t, returning a descriptive

@@ -70,6 +70,63 @@ func TestFingerprintMultiset(t *testing.T) {
 	}
 }
 
+// TestFingerprintChurn: under an arbitrary interleaving of Insert and
+// Remove — the exact access pattern of the repair path, which retains a
+// previous mapping and then trial-places the delta — the incrementally
+// maintained digest must at every step equal the digest of a fresh list
+// rebuilt from the surviving multiset. A divergence here would silently
+// poison the cross-activation feasibility cache.
+func TestFingerprintChurn(t *testing.T) {
+	r := rng.New(1234)
+	now := 17.25
+	for trial := 0; trial < 50; trial++ {
+		var l EntryList
+		l.EnableFingerprint(now)
+		var live []Entry
+		var pos []int // pos[i] is the list position entry live[i] occupies
+		for step := 0; step < 120; step++ {
+			if len(live) == 0 || r.Float64() < 0.55 {
+				e := randEntry(r, now)
+				p := l.Insert(now, e)
+				// Insertion at p shifts every tracked position >= p.
+				for i := range pos {
+					if pos[i] >= p {
+						pos[i]++
+					}
+				}
+				live = append(live, e)
+				pos = append(pos, p)
+			} else {
+				i := r.Intn(len(live))
+				p := pos[i]
+				l.Remove(now, p)
+				for k := range pos {
+					if pos[k] > p {
+						pos[k]--
+					}
+				}
+				live[i] = live[len(live)-1]
+				pos[i] = pos[len(pos)-1]
+				live, pos = live[:len(live)-1], pos[:len(pos)-1]
+			}
+			if err := l.Invariant(now); err != nil {
+				t.Fatalf("trial %d step %d: %v", trial, step, err)
+			}
+			var fresh EntryList
+			fresh.EnableFingerprint(now)
+			for _, e := range live {
+				fresh.Insert(now, e)
+			}
+			for _, pre := range []bool{false, true} {
+				if l.FeasFingerprint(pre) != fresh.FeasFingerprint(pre) {
+					t.Fatalf("trial %d step %d preemptable=%v: incremental digest diverged from rebuilt list (%d live entries)",
+						trial, step, pre, len(live))
+				}
+			}
+		}
+	}
+}
+
 // TestFingerprintShiftInvariance: the same relative state at two different
 // activation times must produce the same key — that is what makes the
 // cache effective across RM activations.
