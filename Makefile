@@ -1,7 +1,7 @@
 GO ?= go
 GOFMT ?= gofmt
 
-.PHONY: check build test vet fmtcheck race bench benchcheck tracecheck faultcheck obscheck explaincheck warmcheck
+.PHONY: check build test vet fmtcheck race bench benchcheck tracecheck faultcheck obscheck explaincheck warmcheck servecheck
 
 # check is the repo gate: vet, formatting, build everything, run the full
 # test suite under the race detector (the telemetry layer and the parallel
@@ -11,9 +11,10 @@ GOFMT ?= gofmt
 # against the committed baseline (skip: BENCHCHECK=0), smoke the
 # fault-injection resilience path (skip: FAULTCHECK=0), exercise the live
 # introspection plane end to end (skip: OBSCHECK=0), exercise the
-# decision-provenance plane (skip: EXPLAINCHECK=0), and prove warm-start
-# solving decision-neutral (skip: WARMCHECK=0).
-check: vet fmtcheck build race tracecheck benchcheck faultcheck obscheck explaincheck warmcheck
+# decision-provenance plane (skip: EXPLAINCHECK=0), prove warm-start
+# solving decision-neutral (skip: WARMCHECK=0), and drive the wall-clock
+# serving mode end to end (skip: SERVECHECK=0).
+check: vet fmtcheck build race tracecheck benchcheck faultcheck obscheck explaincheck warmcheck servecheck
 
 # fmtcheck fails when any Go file is not gofmt-formatted (gofmt -l output
 # is the offending file list).
@@ -120,4 +121,19 @@ warmcheck:
 	else \
 		$(GO) test -race -run 'WarmStart|WarmState|Repair|FingerprintChurn|ParallelMatchesSerial' \
 			./internal/sched/ ./internal/core/ ./internal/exact/ ./internal/experiments/; \
+	fi
+
+# servecheck drives the wall-clock serving mode end to end under the race
+# detector: the sim/server differential (byte-identical results and
+# telemetry for the same trace through both drivers of the shared
+# engine), graceful-shutdown draining against a fast wall clock,
+# concurrent HTTP intake under the serialized-activation contract, the
+# obs plane mounted on the serving listener, and the API validation
+# fences. Set SERVECHECK=0 to skip.
+SERVECHECK ?= 1
+servecheck:
+	@if [ "$(SERVECHECK)" = "0" ]; then \
+		echo "servecheck: skipped (SERVECHECK=0)"; \
+	else \
+		$(GO) test -race -run 'Serve' ./internal/serve/; \
 	fi

@@ -23,16 +23,19 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"path/filepath"
 	"runtime"
 	"runtime/pprof"
 	"sort"
 	"strings"
 	"sync/atomic"
+	"syscall"
 	"time"
 
 	"predrm/internal/experiments"
@@ -201,8 +204,17 @@ func main() {
 	}
 	if opsSrv != nil {
 		if *opsLinger > 0 {
-			fmt.Fprintf(os.Stderr, "experiments: ops server lingering for %v on %s\n", *opsLinger, opsSrv.URL())
-			time.Sleep(*opsLinger)
+			// Interruptible linger: Ctrl-C must still reach opsSrv.Close so
+			// open /trace/tail streams get their clean terminal event
+			// instead of dying with the process.
+			ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+			fmt.Fprintf(os.Stderr, "experiments: ops server lingering for %v on %s (Ctrl-C to stop)\n", *opsLinger, opsSrv.URL())
+			select {
+			case <-time.After(*opsLinger):
+			case <-ctx.Done():
+				fmt.Fprintln(os.Stderr, "experiments: interrupted, closing ops server")
+			}
+			stop()
 		}
 		if err := opsSrv.Close(); err != nil {
 			fatalf("ops-addr: %v", err)

@@ -1,0 +1,280 @@
+// Command rmserve runs the resource manager as a long-lived wall-clock
+// service: the same activation engine the simulator drives (admission
+// protocol, EDF dispatch, migration charging), fed live over HTTP
+// instead of from a recorded trace.
+//
+// Usage:
+//
+//	rmserve -addr :8080 -engine heuristic
+//	rmserve -addr :8080 -taskset traces/taskset.json -engine milp -speed 50
+//	rmserve -addr :8080 -solver-budget 5ms -provenance -trace-out events.jsonl
+//
+// Submit requests with `tracegen -fire http://localhost:8080` (live
+// load generation / trace replay) or plain curl:
+//
+//	curl -d '{"type": 3, "deadline": 12.5}' localhost:8080/v1/requests
+//	curl localhost:8080/v1/decisions/0
+//
+// Every non-/v1 path is the live introspection plane (internal/obs):
+// /metrics, /statusz, /explainz, /trace/tail, /debug/pprof.
+//
+// -speed scales engine time against wall time (speed N means N engine
+// time units per real second), so recorded traces can be replayed live
+// at any compression without changing a single admission decision.
+//
+// On SIGINT/SIGTERM the server shuts down gracefully: intake answers
+// 503, open tail streams get their terminal event, in-flight activations
+// finish, and the remaining admitted jobs drain before the final
+// rmsim-style summary prints. A second signal — or -drain-timeout —
+// abandons the drain and exits non-zero.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"sort"
+	"strconv"
+	"strings"
+	"syscall"
+	"time"
+
+	"predrm/internal/core"
+	"predrm/internal/engine"
+	"predrm/internal/exact"
+	"predrm/internal/obs"
+	"predrm/internal/platform"
+	"predrm/internal/rng"
+	"predrm/internal/sched"
+	"predrm/internal/serve"
+	"predrm/internal/task"
+	"predrm/internal/telemetry"
+)
+
+func main() {
+	var (
+		addr      = flag.String("addr", ":8080", "address to serve the RM API and introspection plane on (:0 picks a free port)")
+		setPath   = flag.String("taskset", "", "task-set JSON file written by tracegen (empty: generate from -seed)")
+		engName   = flag.String("engine", "heuristic", "mapping engine: heuristic, greedy, or milp")
+		exactWork = flag.Int("exact-workers", 0, "search goroutines for -engine milp (0 or 1: serial; results are identical either way)")
+		warmStart = flag.Bool("warmstart", true, "reuse the previous activation's work across live activations (milp: repair-based pruning bound; heuristic: EDF probe cache); decisions are identical either way")
+		seed      = flag.Uint64("seed", 1, "task-set seed (ignored with -taskset)")
+		types     = flag.Int("types", 100, "generated task types (ignored with -taskset)")
+		workCons  = flag.Bool("work-conserving", false, "ignore predicted-task reservations between activations")
+		speed     = flag.Float64("speed", 1, "engine time units per real second (replay compression; decisions are speed-invariant)")
+
+		solverBudget = flag.String("solver-budget", "", "per-activation solver budget: a node count (e.g. 20000) or a wall duration (e.g. 5ms); enables the budgeted fallback chain for graceful degradation under load")
+
+		traceOut     = flag.String("trace-out", "", "write the structured event stream as JSONL to this file")
+		provOn       = flag.Bool("provenance", false, "record decision provenance into the event stream (inspect via /explainz or tracetool explain)")
+		drainTimeout = flag.Duration("drain-timeout", 30*time.Second, "how long shutdown may wait for in-flight jobs to drain")
+	)
+	flag.Parse()
+	if *speed <= 0 {
+		fatalf("-speed %g must be positive", *speed)
+	}
+	if *exactWork < 0 {
+		fatalf("-exact-workers %d must be non-negative", *exactWork)
+	}
+	if *engName != "milp" && flagWasSet("exact-workers") {
+		fatalf("-exact-workers has no effect with -engine %s", *engName)
+	}
+
+	var (
+		set *task.Set
+		err error
+	)
+	if *setPath != "" {
+		set, err = task.ReadFile(*setPath)
+		if err != nil {
+			fatalf("load task set: %v", err)
+		}
+	} else {
+		tcfg := task.DefaultGenConfig()
+		tcfg.NumTypes = *types
+		set, err = task.Generate(platform.Default(), tcfg, rng.New(*seed).Split())
+		if err != nil {
+			fatalf("task set: %v", err)
+		}
+	}
+
+	cfg := engine.Config{
+		Platform:       set.Platform,
+		TaskSet:        set,
+		WorkConserving: *workCons,
+		Metrics:        telemetry.NewRegistry(),
+	}
+	var warmCache *sched.FeasCache
+	if *warmStart && *engName != "milp" {
+		warmCache = sched.NewFeasCache(0)
+	}
+	switch *engName {
+	case "heuristic":
+		cfg.Solver = &core.Heuristic{Cache: warmCache}
+	case "greedy":
+		cfg.Solver = &core.Heuristic{Greedy: true, Cache: warmCache}
+	case "milp":
+		cfg.Solver = &exact.Optimal{Workers: *exactWork, WarmStart: *warmStart}
+	default:
+		fatalf("unknown engine %q", *engName)
+	}
+
+	var traceFile *os.File
+	topts := telemetry.TracerOptions{}
+	if *traceOut != "" {
+		traceFile, err = os.Create(*traceOut)
+		if err != nil {
+			fatalf("trace-out: %v", err)
+		}
+		topts.Sink = traceFile
+	}
+	tracer := telemetry.NewTracer(topts)
+	cfg.Tracer = tracer
+	cfg.Provenance = *provOn
+
+	if *solverBudget != "" {
+		budget, err := parseBudget(*solverBudget)
+		if err != nil {
+			fatalf("solver-budget: %v", err)
+		}
+		cfg.Solver = &core.BudgetedSolver{
+			Stages: []core.Stage{
+				{Name: *engName, Solver: cfg.Solver},
+				{Name: "heuristic", Solver: &core.Heuristic{}},
+			},
+			Budget: budget,
+			Tracer: tracer,
+		}
+	}
+
+	plane := obs.NewPlane(obs.Options{
+		Snapshot: cfg.Metrics.Snapshot,
+		Tracer:   tracer,
+	})
+	srv, err := serve.New(serve.Config{
+		Engine: cfg,
+		Clock:  serve.NewWallClock(*speed),
+		Plane:  plane,
+	})
+	if err != nil {
+		fatalf("%v", err)
+	}
+	if err := srv.Listen(*addr); err != nil {
+		fatalf("%v", err)
+	}
+	fmt.Fprintf(os.Stderr, "rmserve: serving on %s (engine %s, speed %gx)\n", srv.URL(), *engName, *speed)
+	fmt.Fprintf(os.Stderr, "rmserve: POST %s/v1/requests, introspection at %s/statusz\n", srv.URL(), srv.URL())
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	<-ctx.Done()
+	stop() // a second signal kills the process the default way
+	fmt.Fprintf(os.Stderr, "rmserve: signal received, draining (up to %v; signal again to abort)\n", *drainTimeout)
+
+	dctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+	defer cancel()
+	shutdownErr := srv.Shutdown(dctx)
+	res := srv.Result()
+
+	if traceFile != nil {
+		if err := tracer.Flush(); err != nil {
+			fatalf("trace-out: %v", err)
+		}
+		if err := traceFile.Close(); err != nil {
+			fatalf("trace-out: %v", err)
+		}
+		if err := tracer.Err(); err != nil {
+			fatalf("trace-out: event stream truncated: %v", err)
+		}
+	}
+
+	fmt.Printf("engine:           %s (speed %gx)\n", *engName, *speed)
+	fmt.Printf("requests:         %d\n", res.Requests)
+	fmt.Printf("accepted:         %d\n", res.Accepted)
+	fmt.Printf("rejected:         %d (%.2f%%)\n", res.Rejected, res.RejectionPct())
+	fmt.Printf("total energy:     %.2f J\n", res.TotalEnergy)
+	fmt.Printf("migrations:       %d (%.2f J)\n", res.Migrations, res.MigrationEnergy)
+	fmt.Printf("makespan:         %.2f\n", res.MakeSpan)
+	fmt.Printf("deadline misses:  %d\n", res.DeadlineMisses)
+	if res.Telemetry != nil {
+		printReasonLine("admit reasons:    ", res.Telemetry.Counters, "sim.admit_reason.")
+		printReasonLine("reject reasons:   ", res.Telemetry.Counters, "sim.reject_reason.")
+		lat := res.Telemetry.Histograms["sim.solver_seconds"]
+		if lat.Count > 0 {
+			fmt.Printf("solver latency:   p50 %.1f µs, p95 %.1f µs, max %.1f µs (%d activations)\n",
+				lat.Quantile(0.50)*1e6, lat.Quantile(0.95)*1e6, lat.Max*1e6, lat.Count)
+		}
+	}
+	rep := plane.SLO().Report()
+	fmt.Printf("slo:              rejection %.1f%% of %.0f%% budget; miss %.2g%% of %.2g%% budget\n",
+		100*rep.TotalRejectionRate, 100*rep.RejectionTarget,
+		100*rep.TotalMissRate, 100*rep.MissTarget)
+
+	if shutdownErr != nil {
+		fatalf("shutdown: %v", shutdownErr)
+	}
+	if err := srv.Err(); err != nil {
+		fatalf("engine: %v", err)
+	}
+	if res.DeadlineMisses > 0 {
+		fatalf("deadline misses detected: resource-manager invariant broken")
+	}
+}
+
+func parseBudget(s string) (core.Budget, error) {
+	if s == "" {
+		return core.Budget{}, nil
+	}
+	if n, err := strconv.Atoi(s); err == nil {
+		if n <= 0 {
+			return core.Budget{}, fmt.Errorf("node budget %d must be positive", n)
+		}
+		return core.Budget{Nodes: n}, nil
+	}
+	d, err := time.ParseDuration(s)
+	if err != nil {
+		return core.Budget{}, fmt.Errorf("%q is neither a node count nor a duration", s)
+	}
+	if d <= 0 {
+		return core.Budget{}, fmt.Errorf("wall budget %v must be positive", d)
+	}
+	return core.Budget{Wall: d}, nil
+}
+
+// printReasonLine renders one decision-reason histogram from the counters
+// under prefix, sorted by reason; nothing is printed when empty.
+func printReasonLine(label string, counters map[string]int64, prefix string) {
+	var reasons []string
+	for name := range counters {
+		if strings.HasPrefix(name, prefix) {
+			reasons = append(reasons, strings.TrimPrefix(name, prefix))
+		}
+	}
+	if len(reasons) == 0 {
+		return
+	}
+	sort.Strings(reasons)
+	parts := make([]string, len(reasons))
+	for i, r := range reasons {
+		parts[i] = fmt.Sprintf("%s %d", r, counters[prefix+r])
+	}
+	fmt.Printf("%s%s\n", label, strings.Join(parts, ", "))
+}
+
+// flagWasSet reports whether the named flag was given explicitly on the
+// command line.
+func flagWasSet(name string) bool {
+	set := false
+	flag.Visit(func(f *flag.Flag) {
+		if f.Name == name {
+			set = true
+		}
+	})
+	return set
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "rmserve: "+format+"\n", args...)
+	os.Exit(1)
+}

@@ -1,0 +1,119 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"os/signal"
+	"sort"
+	"syscall"
+	"time"
+
+	"predrm/internal/trace"
+)
+
+// decision mirrors the server's DecisionRecord fields the tally needs
+// (internal/serve's full record carries more).
+type decision struct {
+	ID       int     `json:"id"`
+	Accepted bool    `json:"accepted"`
+	Resource int     `json:"resource"`
+	Reason   string  `json:"reason"`
+	Time     float64 `json:"time"`
+}
+
+// fire replays a trace live against an rmserve instance: each request is
+// POSTed to /v1/requests when its arrival time comes up on the replay
+// clock (trace time scaled by speed), and the synchronous decisions are
+// tallied. Ctrl-C stops the replay cleanly after the in-flight POST.
+//
+// The trace is either loaded from -replay or generated in memory with
+// the same flags the file-writing mode uses — so a recorded simulation
+// workload and a live serving run can share one workload identity.
+func fire(url string, tr *trace.Trace, speed float64, verbose bool) {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	client := &http.Client{}
+	start := time.Now()
+	accepted, rejected, failed := 0, 0, 0
+	reasons := map[string]int{}
+	for i, req := range tr.Requests {
+		due := time.Duration(req.Arrival / speed * float64(time.Second))
+		if wait := due - time.Since(start); wait > 0 {
+			select {
+			case <-time.After(wait):
+			case <-ctx.Done():
+				fmt.Fprintf(os.Stderr, "tracegen: interrupted after %d/%d requests\n", i, len(tr.Requests))
+				summarize(accepted, rejected, failed, reasons)
+				return
+			}
+		}
+		body, _ := json.Marshal(map[string]any{"type": req.Type, "deadline": req.Deadline})
+		hreq, err := http.NewRequestWithContext(ctx, http.MethodPost, url+"/v1/requests", bytes.NewReader(body))
+		if err != nil {
+			fatalf("fire: %v", err)
+		}
+		hreq.Header.Set("Content-Type", "application/json")
+		resp, err := client.Do(hreq)
+		if err != nil {
+			if ctx.Err() != nil {
+				fmt.Fprintf(os.Stderr, "tracegen: interrupted after %d/%d requests\n", i, len(tr.Requests))
+				summarize(accepted, rejected, failed, reasons)
+				return
+			}
+			failed++
+			fmt.Fprintf(os.Stderr, "tracegen: request %d: %v\n", i, err)
+			continue
+		}
+		rb, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			failed++
+			fmt.Fprintf(os.Stderr, "tracegen: request %d: status %d: %s\n", i, resp.StatusCode, bytes.TrimSpace(rb))
+			continue
+		}
+		var d decision
+		if err := json.Unmarshal(rb, &d); err != nil {
+			failed++
+			fmt.Fprintf(os.Stderr, "tracegen: request %d: bad decision: %v\n", i, err)
+			continue
+		}
+		if d.Accepted {
+			accepted++
+		} else {
+			rejected++
+		}
+		reasons[d.Reason]++
+		if verbose {
+			status := "rejected"
+			if d.Accepted {
+				status = fmt.Sprintf("accepted on res %d", d.Resource)
+			}
+			fmt.Printf("req %3d type %3d t %9.3f  %s (%s)\n", d.ID, req.Type, d.Time, status, d.Reason)
+		}
+	}
+	summarize(accepted, rejected, failed, reasons)
+}
+
+func summarize(accepted, rejected, failed int, reasons map[string]int) {
+	total := accepted + rejected
+	fmt.Printf("fired:            %d decisions (%d failed sends)\n", total, failed)
+	if total == 0 {
+		return
+	}
+	fmt.Printf("accepted:         %d\n", accepted)
+	fmt.Printf("rejected:         %d (%.2f%%)\n", rejected, 100*float64(rejected)/float64(total))
+	names := make([]string, 0, len(reasons))
+	for reason := range reasons {
+		names = append(names, reason)
+	}
+	sort.Strings(names)
+	for _, reason := range names {
+		fmt.Printf("reason %-20s %d\n", reason, reasons[reason])
+	}
+}

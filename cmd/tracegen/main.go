@@ -1,9 +1,21 @@
 // Command tracegen generates synthetic workload traces following the
-// paper's Sec 5.1 methodology and writes them as JSON files.
+// paper's Sec 5.1 methodology and writes them as JSON files — or, with
+// -fire, replays a workload live against an rmserve instance as a load
+// generator.
 //
 // Usage:
 //
 //	tracegen -out traces/ -count 10 -len 500 -group VT -seed 1
+//	tracegen -fire http://localhost:8080 -len 200 -seed 1 -fire-speed 50
+//	tracegen -fire http://localhost:8080 -replay traces/trace-VT-000.json
+//
+// In fire mode each request is POSTed to /v1/requests when its arrival
+// comes up on the replay clock (trace time divided by -fire-speed), and
+// the synchronous admission decisions are tallied. -replay loads a
+// recorded trace (serve rmserve the matching taskset.json so the type
+// universe agrees); without it, one trace is generated in memory from
+// the usual generator flags — the same workload identity either way, so
+// a simulated run and a live serving run are directly comparable.
 package main
 
 import (
@@ -30,8 +42,27 @@ func main() {
 		types  = flag.Int("types", 100, "task types in the generated set")
 		cpus   = flag.Int("cpus", 5, "platform CPUs")
 		gpus   = flag.Int("gpus", 1, "platform GPUs")
+
+		fireURL   = flag.String("fire", "", "replay the workload live against this rmserve base URL instead of writing files")
+		replay    = flag.String("replay", "", "trace JSON file to fire (requires -fire; empty: generate one trace in memory)")
+		fireSpeed = flag.Float64("fire-speed", 1, "replay compression for -fire: trace time units per real second")
+		verbose   = flag.Bool("v", false, "print each decision in fire mode")
 	)
 	flag.Parse()
+	if *fireURL == "" && (*replay != "" || flagWasSet("fire-speed") || *verbose) {
+		fatalf("-replay, -fire-speed and -v only apply with -fire")
+	}
+	if *fireSpeed <= 0 {
+		fatalf("-fire-speed %g must be positive", *fireSpeed)
+	}
+	if *fireURL != "" && *replay != "" {
+		tr, err := trace.ReadFile(*replay)
+		if err != nil {
+			fatalf("load trace: %v", err)
+		}
+		fire(*fireURL, tr, *fireSpeed, *verbose)
+		return
+	}
 	validateFlags(*count, *length, *types, *meanIA, *stdIA, *cpus, *gpus)
 
 	var tight trace.Tightness
@@ -58,6 +89,14 @@ func main() {
 		InterarrivalMean: *meanIA,
 		InterarrivalStd:  *stdIA,
 		Tightness:        tight,
+	}
+	if *fireURL != "" {
+		tr, err := trace.Generate(set, gcfg, root.Split())
+		if err != nil {
+			fatalf("generate trace: %v", err)
+		}
+		fire(*fireURL, tr, *fireSpeed, *verbose)
+		return
 	}
 	traces, err := trace.GenerateGroup(set, gcfg, *count, root.Split())
 	if err != nil {
@@ -97,6 +136,18 @@ func validateFlags(count, length, types int, meanIA, stdIA float64, cpus, gpus i
 	case cpus < 0 || gpus < 0 || cpus+gpus == 0:
 		fatalf("-cpus %d -gpus %d: need at least one resource", cpus, gpus)
 	}
+}
+
+// flagWasSet reports whether the named flag was given explicitly on the
+// command line.
+func flagWasSet(name string) bool {
+	set := false
+	flag.Visit(func(f *flag.Flag) {
+		if f.Name == name {
+			set = true
+		}
+	})
+	return set
 }
 
 func fatalf(format string, args ...any) {

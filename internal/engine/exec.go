@@ -1,0 +1,673 @@
+package engine
+
+import (
+	"fmt"
+	"math"
+
+	"predrm/internal/core"
+	"predrm/internal/platform"
+	"predrm/internal/sched"
+	"predrm/internal/telemetry"
+)
+
+// probe reports the current RM state through Config.StateProbe.
+func (r *Engine) probe(req int) {
+	if r.cfg.StateProbe == nil {
+		return
+	}
+	s := StateSample{
+		Time:           r.now,
+		Req:            req,
+		Requests:       r.res.Accepted + r.res.Rejected,
+		Accepted:       r.res.Accepted,
+		Rejected:       r.res.Rejected,
+		Finished:       r.finished,
+		DeadlineMisses: r.res.DeadlineMisses,
+		InFlight:       len(r.active),
+		Resources:      make([]ResourceSample, r.cfg.Platform.Len()),
+	}
+	for _, j := range r.active {
+		if j.Resource == sched.Unmapped {
+			continue
+		}
+		rs := &s.Resources[j.Resource]
+		rs.Jobs++
+		if rs.NextDeadline == 0 || j.AbsDeadline < rs.NextDeadline {
+			rs.NextDeadline = j.AbsDeadline
+		}
+	}
+	for _, g := range r.pendingResv {
+		s.Resources[g.res].Reserved++
+	}
+	r.cfg.StateProbe(s)
+}
+
+// emitLifecycle reports a job execution transition on resource res.
+func (r *Engine) emitLifecycle(typ telemetry.EventType, j *sched.Job, res int, reason string) {
+	e := telemetry.NewEvent(r.now, typ)
+	e.Req = j.ID
+	e.Task = j.Type.ID
+	e.Res = res
+	e.Reason = reason
+	e.Value = j.Frac
+	r.trc.Emit(e)
+}
+
+// reasonCounter bumps the per-reason outcome counter (e.g.
+// sim.reject_reason.no_feasible_mapping). The registry's get-or-create
+// lookup makes the counter set self-defining: a reason appears the first
+// time it is charged.
+func (r *Engine) reasonCounter(prefix, reason string) {
+	if r.cfg.Metrics == nil {
+		return
+	}
+	r.cfg.Metrics.Counter(prefix + reason).Inc()
+}
+
+// emitDecision publishes the activation's decision-provenance record as an
+// EvDecision event carrying a deep-copied snapshot of the arena (the
+// tracer ring outlives the next Reset).
+func (r *Engine) emitDecision(req, taskType, res int, reason string, energy float64) {
+	if r.prov == nil || r.trc == nil {
+		return
+	}
+	e := telemetry.NewEvent(r.now, telemetry.EvDecision)
+	e.Req = req
+	e.Task = taskType
+	e.Res = res
+	e.Reason = reason
+	e.Value = energy
+	e.Prov = r.prov.Snapshot()
+	r.trc.Emit(e)
+}
+
+// noteExec registers that j is about to execute on res, emitting job_start
+// when the resource's occupancy changes. Called only when tracing.
+func (r *Engine) noteExec(j *sched.Job, res int) {
+	if r.running[res] == j {
+		return
+	}
+	reason := telemetry.ReasonStart
+	if j.Started {
+		reason = telemetry.ReasonResume
+	}
+	r.emitLifecycle(telemetry.EvJobStart, j, res, reason)
+	r.running[res] = j
+}
+
+// notePauses closes the occupancy slot of every resource whose current
+// occupant does not continue executing there in the step about to run,
+// emitting job_preempt with the transition cause. Finished occupants are
+// reported by reap instead. Called only when tracing.
+func (r *Engine) notePauses(acts []execAction) {
+	for res, occ := range r.running {
+		if occ == nil {
+			continue
+		}
+		continues, migrates := false, false
+		var displacer *sched.Job
+		for _, a := range acts {
+			switch {
+			case a.res == res && a.job == occ:
+				continues = true
+			case a.res == res:
+				displacer = a.job
+			case a.job == occ:
+				migrates = true
+			}
+		}
+		if continues {
+			continue
+		}
+		if occ.Done() {
+			r.running[res] = nil // reap emits job_finish
+			continue
+		}
+		reason := telemetry.ReasonPaused
+		if displacer != nil {
+			reason = telemetry.ReasonDisplaced
+		}
+		if migrates {
+			reason = telemetry.ReasonMigrated
+		}
+		r.emitLifecycle(telemetry.EvJobPreempt, occ, res, reason)
+		r.running[res] = nil
+	}
+}
+
+// execAction is one (resource, job) dispatch of an execution step.
+type execAction struct {
+	res int
+	job *sched.Job
+}
+
+// flushReservations reports the fate of the standing reservations once the
+// next activation replaces them: a reservation whose window had begun was
+// held idle by the planned schedule (honoured).
+func (r *Engine) flushReservations() {
+	for _, g := range r.pendingResv {
+		if r.now+sched.Eps >= g.job.Arrival {
+			r.ins.resvHonoured.Inc()
+			e := telemetry.NewEvent(r.now, telemetry.EvReservationHonoured)
+			e.Res = g.res
+			e.Value = g.job.Arrival
+			r.trc.Emit(e)
+		}
+	}
+	r.pendingResv = nil
+}
+
+// advanceTo advances execution to target, materialising critical releases
+// on the way (each release joins the active set and triggers a replan).
+func (r *Engine) advanceTo(target float64) error {
+	if r.cfg.Critical == nil {
+		r.advance(target)
+		return nil
+	}
+	for {
+		rel, ok := r.nextCriticalRelease()
+		if !ok || rel >= target-sched.Eps {
+			break
+		}
+		r.advance(rel)
+		r.materializeCritical(rel)
+		if err := r.replan(nil); err != nil {
+			return err
+		}
+	}
+	r.advance(target)
+	return nil
+}
+
+// nextCriticalRelease returns the earliest unmaterialised release time.
+func (r *Engine) nextCriticalRelease() (float64, bool) {
+	best := math.Inf(1)
+	found := false
+	for tid, t := range r.cfg.Critical.Tasks {
+		if rel := t.ReleaseAt(r.criticalNext[tid]); rel < best {
+			best = rel
+			found = true
+		}
+	}
+	return best, found
+}
+
+// nextCriticalReleaseIfAny is nextCriticalRelease tolerating a nil set.
+func (r *Engine) nextCriticalReleaseIfAny() (float64, bool) {
+	if r.cfg.Critical == nil {
+		return 0, false
+	}
+	return r.nextCriticalRelease()
+}
+
+// HasAdaptiveWork reports whether any driver-submitted job is still
+// active (critical releases do not count).
+func (r *Engine) HasAdaptiveWork() bool {
+	for _, j := range r.active {
+		if j.ID >= 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// NextWake returns the next engine time at which state changes on its own
+// — a running job completes, a plan-segment or reservation boundary
+// passes, or a critical release materialises — and false when nothing is
+// pending. A wall-clock driver sleeps until the wake time and calls
+// AdvanceTo; waking early is harmless (AdvanceTo is monotone), and the
+// reported time is exact, so completions are stamped at their true engine
+// times regardless of when the driver observes them.
+func (r *Engine) NextWake() (float64, bool) {
+	best := math.Inf(1)
+	if r.cfg.WorkConserving {
+		for _, j := range r.active {
+			if j.Done() || j.Resource == sched.Unmapped {
+				continue
+			}
+			need := j.MigDebt + j.Frac*j.Type.WCET[j.Resource]
+			if t := r.now + need; t < best {
+				best = t
+			}
+		}
+	} else {
+		for res, segs := range r.plan {
+			for _, s := range segs {
+				if s.end <= r.now+sched.Eps {
+					continue // past
+				}
+				if s.job != nil && s.job.Done() {
+					continue // completed (slightly early by rounding)
+				}
+				var cand float64
+				switch {
+				case s.start > r.now+sched.Eps:
+					cand = s.start // idle until the next segment starts
+				case s.job == nil:
+					cand = s.end // reservation: idle through it
+				default:
+					need := s.job.MigDebt + s.job.Frac*s.job.Type.WCET[res]
+					cand = r.now + math.Min(need, s.end-r.now)
+				}
+				if cand < best {
+					best = cand
+				}
+				break
+			}
+		}
+	}
+	if rel, ok := r.nextCriticalReleaseIfAny(); ok && rel < best {
+		best = rel
+	}
+	if math.IsInf(best, 1) {
+		return 0, false
+	}
+	return best, true
+}
+
+// materializeCritical activates every critical job releasing at time rel.
+func (r *Engine) materializeCritical(rel float64) {
+	for tid, t := range r.cfg.Critical.Tasks {
+		k := r.criticalNext[tid]
+		if math.Abs(t.ReleaseAt(k)-rel) > sched.Eps {
+			continue
+		}
+		r.criticalNext[tid] = k + 1
+		j := r.cfg.Critical.Release(r.cfg.Platform, tid, k)
+		r.active = append(r.active, j)
+		r.res.CriticalJobs++
+		r.ins.criticalReleases.Inc()
+		if r.trc != nil {
+			e := telemetry.NewEvent(rel, telemetry.EvCriticalRelease)
+			e.Task = tid
+			e.Res = j.Resource
+			e.Value = float64(k)
+			r.trc.Emit(e)
+		}
+	}
+}
+
+// upcomingCritical returns planning copies of the critical releases within
+// the adaptive decision window of jobs.
+func (r *Engine) upcomingCritical(jobs []*sched.Job) []*sched.Job {
+	if r.cfg.Critical == nil {
+		return nil
+	}
+	horizon := r.now
+	for _, j := range jobs {
+		if j.AbsDeadline > horizon {
+			horizon = j.AbsDeadline
+		}
+	}
+	return r.cfg.Critical.UpcomingJobs(r.cfg.Platform, r.now, horizon)
+}
+
+// auditState verifies the standing schedule is still feasible (Config.Audit).
+func (r *Engine) auditState(beforeRequest int) error {
+	if len(r.active) == 0 {
+		return nil
+	}
+	p := &sched.Problem{Platform: r.cfg.Platform, Time: r.now, Jobs: r.active, Policy: r.cfg.Policy}
+	mapping := make([]int, len(r.active))
+	for i, j := range r.active {
+		mapping[i] = j.Resource
+	}
+	if !p.FeasibleMapping(mapping) {
+		return fmt.Errorf("engine: audit before request %d at t=%.6f: standing schedule infeasible; jobs=%v",
+			beforeRequest, r.now, r.active)
+	}
+	return nil
+}
+
+// apply installs an admission decision: remaps active jobs (charging
+// migrations) and activates the new job.
+func (r *Engine) apply(p *sched.Problem, d core.Decision, newJob *sched.Job) {
+	for i, j := range p.Jobs {
+		if j.Predicted {
+			continue // planning constraint only (Sec 4.1)
+		}
+		target := d.Mapping[i]
+		if target == sched.Unmapped {
+			// Cannot happen for an admitted decision; guard loudly.
+			panic(fmt.Sprintf("engine: admitted decision leaves %v unmapped", j))
+		}
+		if j.Resource != sched.Unmapped && j.Resource != target {
+			charged := j.Started || p.Policy == sched.ChargeAlways
+			r.prov.Remap(j.ID, j.Resource, target, charged)
+			if charged {
+				j.MigDebt += j.Type.MigTime
+				rec := &r.rec[j.ID]
+				rec.Migrations++
+				rec.Energy += j.Type.MigEnergy
+				r.res.Migrations++
+				r.res.MigrationEnergy += j.Type.MigEnergy
+				r.res.TotalEnergy += j.Type.MigEnergy
+				r.ins.migrations.Inc()
+				if r.trc != nil {
+					e := telemetry.NewEvent(r.now, telemetry.EvMigration)
+					e.Req = j.ID
+					e.Res = target
+					e.Value = j.Type.MigEnergy
+					r.trc.Emit(e)
+				}
+			}
+		}
+		j.Resource = target
+	}
+	r.active = append(r.active, newJob)
+}
+
+// ghostRef is one mapped predicted job carried into the standing plan.
+type ghostRef struct {
+	job *sched.Job
+	res int
+}
+
+// replan rebuilds the standing schedule from the active jobs' current
+// mappings, optionally reserving capacity for the mapped predicted jobs.
+// A failure to reconstruct a feasible schedule means the RM's invariant
+// broke; it is surfaced as an error.
+func (r *Engine) replan(ghosts []ghostRef) error {
+	if r.cfg.WorkConserving {
+		return nil // greedy dispatch reads job state directly
+	}
+	defer telemetry.StartTimer(r.ins.replanSec).Stop()
+	// The previous activation's reservations end here; report their fate.
+	r.flushReservations()
+	r.pendingResv = ghosts
+	jobs := make([]*sched.Job, 0, len(r.active)+len(ghosts))
+	jobs = append(jobs, r.active...)
+	mapping := make([]int, 0, cap(jobs))
+	for _, j := range jobs {
+		mapping = append(mapping, j.Resource)
+	}
+	for _, g := range ghosts {
+		jobs = append(jobs, g.job)
+		mapping = append(mapping, g.res)
+	}
+	if len(jobs) == 0 {
+		r.plan = nil
+		return nil
+	}
+	p := &sched.Problem{Platform: r.cfg.Platform, Time: r.now, Jobs: jobs, Policy: r.cfg.Policy}
+	segsByRes, ok := p.Schedule(mapping)
+	if !ok {
+		return fmt.Errorf("engine: replan at t=%.6f produced an infeasible schedule (RM invariant broken); jobs=%v",
+			r.now, jobs)
+	}
+	plan := make([][]planSeg, r.cfg.Platform.Len())
+	for res, segs := range segsByRes {
+		for _, s := range segs {
+			ps := planSeg{start: s.Start, end: s.End}
+			if !jobs[s.Index].Predicted {
+				ps.job = jobs[s.Index]
+			}
+			plan[res] = append(plan[res], ps)
+		}
+	}
+	r.plan = plan
+	return nil
+}
+
+// advance executes the standing schedule up to time target.
+func (r *Engine) advance(target float64) {
+	defer telemetry.StartTimer(r.ins.advanceSec).Stop()
+	if r.cfg.WorkConserving {
+		r.advanceGreedy(target)
+		return
+	}
+	for r.now < target-sched.Eps {
+		if len(r.active) == 0 {
+			break // reap keeps only unfinished jobs
+		}
+		var acts []execAction
+		step := math.Inf(1)
+		if !math.IsInf(target, 1) {
+			step = target - r.now
+		}
+		for res, segs := range r.plan {
+			for _, s := range segs {
+				if s.end <= r.now+sched.Eps {
+					continue // past
+				}
+				if s.job != nil && s.job.Done() {
+					continue // completed (slightly early by rounding)
+				}
+				if s.start > r.now+sched.Eps {
+					// Idle until the next segment starts.
+					if d := s.start - r.now; d < step {
+						step = d
+					}
+					break
+				}
+				if s.job == nil {
+					// Inside a ghost reservation: idle through it.
+					if d := s.end - r.now; d < step {
+						step = d
+					}
+					break
+				}
+				need := s.job.MigDebt + s.job.Frac*s.job.Type.WCET[res]
+				bound := math.Min(need, s.end-r.now)
+				if bound < step {
+					step = bound
+				}
+				acts = append(acts, execAction{res, s.job})
+				break
+			}
+		}
+		if len(acts) == 0 && math.IsInf(step, 1) {
+			break // no runnable segment and no upcoming boundary
+		}
+		if step <= 0 {
+			step = sched.Eps
+		}
+		if r.running != nil {
+			r.notePauses(acts)
+		}
+		for _, a := range acts {
+			r.execute(a.job, a.res, step)
+		}
+		r.now += step
+		r.reap()
+	}
+	if !math.IsInf(target, 1) && target > r.now {
+		r.now = target
+	}
+}
+
+// advanceGreedy executes work-conserving EDF dispatch up to target
+// (Config.WorkConserving).
+func (r *Engine) advanceGreedy(target float64) {
+	for r.now < target-sched.Eps {
+		// Pick each resource's EDF head.
+		heads := make(map[int]*sched.Job, r.cfg.Platform.Len())
+		for _, j := range r.active {
+			if j.Done() || j.Resource == sched.Unmapped {
+				continue
+			}
+			cur, ok := heads[j.Resource]
+			if !ok {
+				heads[j.Resource] = j
+				continue
+			}
+			heads[j.Resource] = preferHead(r.cfg.Platform, cur, j)
+		}
+		if len(heads) == 0 {
+			break // idle until target
+		}
+		// Next event: earliest head completion, capped at target.
+		step := target - r.now
+		for res, j := range heads {
+			need := j.MigDebt + j.Frac*j.Type.WCET[res]
+			if need < step {
+				step = need
+			}
+		}
+		if step <= 0 {
+			step = sched.Eps
+		}
+		// Dispatch in resource order so trace emission is deterministic.
+		acts := make([]execAction, 0, len(heads))
+		for res := 0; res < r.cfg.Platform.Len(); res++ {
+			if j, ok := heads[res]; ok {
+				acts = append(acts, execAction{res, j})
+			}
+		}
+		if r.running != nil {
+			r.notePauses(acts)
+		}
+		for _, a := range acts {
+			r.execute(a.job, a.res, step)
+		}
+		r.now += step
+		r.reap()
+	}
+	if !math.IsInf(target, 1) && target > r.now {
+		r.now = target
+	}
+}
+
+// preferHead picks which of two jobs on the same resource runs now: the
+// mid-execution occupant on non-preemptable resources, otherwise the
+// earlier deadline (ties: lower ID, deterministic).
+func preferHead(p *platform.Platform, a, b *sched.Job) *sched.Job {
+	if !p.Resource(a.Resource).Preemptable() {
+		ao := a.ExecRes == a.Resource
+		bo := b.ExecRes == b.Resource
+		if ao != bo {
+			if ao {
+				return a
+			}
+			return b
+		}
+	}
+	if a.AbsDeadline != b.AbsDeadline {
+		if a.AbsDeadline < b.AbsDeadline {
+			return a
+		}
+		return b
+	}
+	if a.ID <= b.ID {
+		return a
+	}
+	return b
+}
+
+// execute serves dt time of job j on resource res: migration debt first,
+// then useful work with energy accounting.
+func (r *Engine) execute(j *sched.Job, res int, dt float64) {
+	if r.running != nil {
+		r.noteExec(j, res)
+	}
+	j.Started = true
+	j.ExecRes = res
+	if r.cfg.RecordExecution {
+		r.record(res, j.ID, dt)
+	}
+	if j.MigDebt > 0 {
+		served := math.Min(j.MigDebt, dt)
+		j.MigDebt -= served
+		dt -= served
+		if j.MigDebt < sched.Eps {
+			j.MigDebt = 0
+		}
+		if dt <= 0 {
+			return
+		}
+	}
+	wcet := j.Type.WCET[res]
+	frac := dt / wcet
+	if frac > j.Frac {
+		frac = j.Frac
+	}
+	j.Frac -= frac
+	energy := j.Type.Energy[res] * frac
+	if j.ID >= 0 {
+		r.rec[j.ID].Energy += energy
+		r.res.TotalEnergy += energy
+	} else {
+		r.res.CriticalEnergy += energy
+		if r.critEnergy != nil {
+			r.critEnergy[j] += energy
+		}
+	}
+	if j.Frac < sched.Eps {
+		j.Frac = 0
+	}
+}
+
+// record appends execution time to the per-resource trace, merging
+// contiguous segments of the same job.
+func (r *Engine) record(res, jobID int, dt float64) {
+	if r.exec == nil {
+		r.exec = make([][]ExecSegment, r.cfg.Platform.Len())
+	}
+	segs := r.exec[res]
+	if n := len(segs); n > 0 {
+		last := &segs[n-1]
+		if last.JobID == jobID && last.End >= r.now-sched.Eps {
+			last.End = r.now + dt
+			return
+		}
+	}
+	r.exec[res] = append(segs, ExecSegment{
+		Resource: res, JobID: jobID, Start: r.now, End: r.now + dt,
+	})
+}
+
+// noteFinish emits job_finish for a completed job and releases its
+// occupancy slot. Called only when tracing.
+func (r *Engine) noteFinish(j *sched.Job) {
+	res := j.ExecRes
+	for i, occ := range r.running {
+		if occ == j {
+			r.running[i] = nil
+			res = i
+		}
+	}
+	e := telemetry.NewEvent(r.now, telemetry.EvJobFinish)
+	e.Req = j.ID
+	e.Task = j.Type.ID
+	e.Res = res
+	if j.ID >= 0 {
+		e.Value = r.rec[j.ID].Energy
+	} else {
+		e.Value = r.critEnergy[j]
+		e.Reason = telemetry.ReasonCritical
+		delete(r.critEnergy, j)
+	}
+	r.trc.Emit(e)
+}
+
+// reap retires completed jobs, auditing the deadline invariant.
+func (r *Engine) reap() {
+	kept := r.active[:0]
+	for _, j := range r.active {
+		if !j.Done() {
+			kept = append(kept, j)
+			continue
+		}
+		if r.running != nil {
+			r.noteFinish(j)
+		}
+		if j.ID < 0 {
+			// Critical job: only the deadline audit applies.
+			if r.now > j.AbsDeadline+1e-6 {
+				r.res.CriticalMisses++
+			}
+			continue
+		}
+		r.finished++
+		rec := &r.rec[j.ID]
+		rec.FinishTime = r.now
+		if r.now > j.AbsDeadline+1e-6 {
+			rec.MissedDeadline = true
+			r.res.DeadlineMisses++
+		}
+		if r.now > r.res.MakeSpan {
+			r.res.MakeSpan = r.now
+		}
+	}
+	r.active = kept
+}

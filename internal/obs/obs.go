@@ -42,6 +42,7 @@
 package obs
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"net"
@@ -412,7 +413,16 @@ func (p *Plane) handleTail(w http.ResponseWriter, r *http.Request) {
 		select {
 		case e, ok := <-sub.Events():
 			if !ok {
-				return // run finished (Plane.Close)
+				// Run finished (Plane.Close). SSE clients get a terminal
+				// event so they can tell a clean end from a severed
+				// connection; NDJSON stays pure event lines.
+				if sse {
+					_, _ = fmt.Fprint(w, "event: end\ndata: {}\n\n")
+					if flusher != nil {
+						flusher.Flush()
+					}
+				}
+				return
 			}
 			if sse {
 				if _, err := fmt.Fprint(w, "data: "); err != nil {
@@ -441,6 +451,10 @@ type Server struct {
 	plane *Plane
 	ln    net.Listener
 	srv   *http.Server
+
+	// ShutdownTimeout bounds Close's graceful drain before it falls back
+	// to severing connections (default 2s).
+	ShutdownTimeout time.Duration
 }
 
 // Serve binds the plane to addr (":0" picks a free port) and serves it in
@@ -461,8 +475,21 @@ func (s *Server) Addr() string { return s.ln.Addr().String() }
 // URL returns the server's base URL.
 func (s *Server) URL() string { return "http://" + s.Addr() }
 
-// Close ends open tail streams and stops the server.
+// Close ends open tail streams and stops the server. Closing the plane
+// unsubscribes every tailer, so the graceful Shutdown that follows lets
+// each stream flush its terminal event and return before the listener
+// goes away; only if that takes longer than ShutdownTimeout are the
+// remaining connections severed.
 func (s *Server) Close() error {
 	s.plane.Close()
-	return s.srv.Close()
+	d := s.ShutdownTimeout
+	if d <= 0 {
+		d = 2 * time.Second
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), d)
+	defer cancel()
+	if err := s.srv.Shutdown(ctx); err != nil {
+		return s.srv.Close()
+	}
+	return nil
 }

@@ -325,7 +325,7 @@ func TestTailSSE(t *testing.T) {
 		t.Fatal("sse request failed")
 	}
 	line, _ := json.Marshal(func() telemetry.Event { e.Seq = 0; return e }())
-	want := "data: " + string(line) + "\n\n"
+	want := "data: " + string(line) + "\n\n" + "event: end\ndata: {}\n\n"
 	if string(body) != want {
 		t.Fatalf("sse body %q, want %q", body, want)
 	}
@@ -465,6 +465,27 @@ func TestSnapshotterCadence(t *testing.T) {
 		if !always.Due(now) {
 			t.Fatalf("zero-interval snapshotter not due at %v", now)
 		}
+	}
+}
+
+// TestSnapshotterTimeRegression: a virtual-time reading behind the last
+// due tick means the time source restarted (a fresh run reusing the
+// plane), so Due must latch the restart and report due instead of going
+// dark until the new timeline passes the stale mark — mirroring
+// TestSLOTimeRegressionResets for the SLO tracker.
+func TestSnapshotterTimeRegression(t *testing.T) {
+	s := Snapshotter{Interval: 10}
+	if !s.Due(100) {
+		t.Fatal("first tick not due")
+	}
+	if !s.Due(2) {
+		t.Fatal("regressed tick (restarted time source) not due")
+	}
+	if s.Due(5) {
+		t.Fatal("tick inside Interval of the re-latched mark reported due")
+	}
+	if !s.Due(12) {
+		t.Fatal("tick one Interval past the re-latched mark not due")
 	}
 }
 

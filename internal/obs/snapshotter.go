@@ -26,7 +26,11 @@ type Snapshotter struct {
 func (s *Snapshotter) Due(now float64) bool {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	if s.started && now-s.last < s.Interval {
+	// A reading behind the last tick means the time source restarted (a
+	// fresh run reusing the plane, or a driver reset): re-latch and report
+	// due instead of going silent until the new timeline catches up to the
+	// stale mark — the same restart rule the SLO tracker applies.
+	if s.started && now >= s.last && now-s.last < s.Interval {
 		return false
 	}
 	s.started = true

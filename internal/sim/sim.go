@@ -2,554 +2,45 @@
 // manager: the discrete-event simulation behind every experiment in the
 // paper's evaluation (Sec 5).
 //
-// Event loop per request: advance execution to the arrival, advance
-// further by the prediction/decision overhead (Sec 5.5), build the S̄
-// problem (active jobs + arriving job + optional predicted job), run the
-// admission protocol, apply the resulting mapping (charging migrations),
-// and continue.
+// Since the activation engine moved to internal/engine, sim is a
+// virtual-clock driver of it: Run walks the trace and hands each request
+// to engine.Activate, which advances engine time to the arrival, charges
+// the prediction/decision overhead (Sec 5.5), builds the S̄ problem
+// (active jobs + arriving job + optional predicted job), runs the
+// admission protocol, applies the resulting mapping (charging
+// migrations), and continues. The wall-clock server (internal/serve)
+// drives the very same engine from real time; DESIGN.md §11 states the
+// equivalence argument, and internal/serve's differential test enforces
+// it byte for byte.
 //
-// Between RM activations the platform executes the decision's *planned*
-// EDF schedule, including the capacity reserved for the predicted task: a
-// queued job planned after the predicted one waits for it. This is what
-// makes a reservation on a non-preemptable resource effective — under
-// work-conserving execution the next queued job would grab the reserved
-// gap, get pinned, and block the real task when it arrives, silently
-// cancelling the benefit prediction is supposed to deliver. The
-// work-conserving alternative is available as Config.WorkConserving for
-// ablation. With no prediction the two coincide (the planned schedule is
-// the work-conserving EDF schedule), preserving the paper's "no preemption
-// between two activations" property.
+// The Config/Result/StateSample types are aliases of the engine's — the
+// simulator adds no state of its own — so existing callers (experiments,
+// obs, gantt, the public predrm wrappers) keep compiling unchanged.
 package sim
 
 import (
-	"errors"
-	"fmt"
-	"math"
-	"time"
-
-	"predrm/internal/core"
-	"predrm/internal/critical"
-	"predrm/internal/platform"
-	"predrm/internal/predict"
-	"predrm/internal/sched"
-	"predrm/internal/task"
-	"predrm/internal/telemetry"
+	"predrm/internal/engine"
 	"predrm/internal/trace"
 )
 
-// Config assembles one simulation.
-type Config struct {
-	// Platform to execute on.
-	Platform *platform.Platform
-	// TaskSet resolving request types.
-	TaskSet *task.Set
-	// Solver is the mapping engine (heuristic, exact, or MILP).
-	Solver core.Solver
-	// Predictor provides next-request forecasts; nil disables prediction.
-	Predictor predict.Predictor
-	// Lookahead is the forecast horizon: how many upcoming requests are
-	// included as planning constraints. 0 and 1 both mean the paper's
-	// single-step prediction; larger values require a Predictor that
-	// implements predict.MultiPredictor (the library's extension).
-	Lookahead int
-	// Critical is the design-time safety-critical workload (Sec 2); nil
-	// disables it. Critical jobs release periodically on their static
-	// resources with guaranteed service: every adaptive admission accounts
-	// for the upcoming critical releases inside its decision window.
-	Critical *critical.Set
-	// Policy selects migration charging (default ChargeStartedOnly).
-	Policy sched.MigrationPolicy
-	// ExtraOverhead is added to the predictor's own overhead as decision
-	// latency, in simulated time.
-	ExtraOverhead float64
-	// OverheadHook, when non-nil, contributes additional per-request
-	// decision latency (simulated time): it is called once per arrival
-	// with the request index and arrival time, and its result is added to
-	// ExtraOverhead and the predictor overhead. internal/faultinject uses
-	// it to inject latency spikes; it must be deterministic in (req,
-	// arrival) for reproducible runs and must not return a negative value.
-	OverheadHook func(req int, arrival float64) float64
-	// WorkConserving switches execution between activations from the
-	// planned schedule (default: reservations for the predicted task are
-	// honoured) to greedy EDF dispatch that backfills reserved gaps.
-	// Ablation A4 quantifies the difference; without prediction the modes
-	// are identical.
-	WorkConserving bool
-	// Audit re-verifies at every activation that the active jobs' current
-	// mappings are still EDF-feasible, reporting the first violation
-	// through the returned error. Meant for tests and debugging; the
-	// invariant must hold for a sound RM.
-	Audit bool
-	// RecordExecution captures the executed schedule as Result.Execution
-	// (per-resource segments), for Gantt rendering and post-hoc analysis.
-	RecordExecution bool
-	// Tracer receives structured simulation events (arrivals, predictions,
-	// solver latencies, admissions, migrations, reservations); nil disables
-	// tracing at near-zero cost.
-	Tracer *telemetry.Tracer
-	// Metrics, when non-nil, collects counters and latency histograms for
-	// the run; the snapshot is surfaced as Result.Telemetry. Solvers
-	// implementing telemetry.Instrumentable are attached automatically.
-	Metrics *telemetry.Registry
-	// StateProbe, when non-nil, receives a point-in-time StateSample after
-	// every admission decision and once more when the run drains — the
-	// virtual-clock hook the live introspection plane (internal/obs) mounts
-	// to publish RM state and feed SLO burn-rate windows. It is called
-	// synchronously from the event loop, so it must be fast and must not
-	// retain the sample's Resources slice beyond the call.
-	StateProbe func(StateSample)
-	// Provenance enables per-activation decision-provenance recording: a
-	// ProvRecorder is attached to the solver (telemetry.ProvenanceAware)
-	// and every admission decision is followed by an EvDecision event
-	// carrying the full causal record — solver-chain hops, candidate
-	// feasibility verdicts, regret picks, branch-and-bound statistics, and
-	// remapping deltas. Off by default: recording widens the solver's
-	// feasibility probes to explain mode and allocates per activation, so
-	// the hot path keeps its allocation-free benchmark gate when disabled.
-	// Requires Tracer to be useful (the record rides the event stream).
-	Provenance bool
-}
+// Config assembles one simulation (alias of engine.Config; the simulator
+// is a trace-driven front end to the shared activation engine).
+type Config = engine.Config
 
-// StateSample is the RM state handed to Config.StateProbe: cumulative
-// admission counters plus the current in-flight picture. Counters are
-// cumulative since the start of the run so samplers can window them.
-type StateSample struct {
-	// Time is the simulated time of the sample.
-	Time float64 `json:"time"`
-	// Req is the request index just decided, or -1 for the final
-	// end-of-run sample.
-	Req int `json:"req"`
-	// Requests counts arrivals decided so far (== Accepted + Rejected).
-	Requests int `json:"requests"`
-	// Accepted and Rejected are cumulative admission outcomes.
-	Accepted int `json:"accepted"`
-	Rejected int `json:"rejected"`
-	// Finished counts adaptive jobs that completed so far.
-	Finished int `json:"finished"`
-	// DeadlineMisses counts accepted jobs that finished late so far (0 for
-	// a sound RM).
-	DeadlineMisses int `json:"deadline_misses"`
-	// InFlight is the number of currently active jobs (adaptive and
-	// critical).
-	InFlight int `json:"in_flight"`
-	// Resources holds one entry per platform resource, indexed by id.
-	Resources []ResourceSample `json:"resources"`
-}
+// StateSample is the RM state handed to Config.StateProbe.
+type StateSample = engine.StateSample
 
 // ResourceSample is one resource's slice of a StateSample.
-type ResourceSample struct {
-	// Jobs counts active jobs currently mapped to the resource.
-	Jobs int `json:"jobs"`
-	// Reserved counts standing reservations for predicted jobs on it.
-	Reserved int `json:"reserved"`
-	// NextDeadline is the earliest absolute deadline among the mapped
-	// jobs, or 0 when the resource is empty (JSON cannot carry +Inf).
-	NextDeadline float64 `json:"next_deadline"`
-}
+type ResourceSample = engine.ResourceSample
 
-// ExecSegment is one contiguous piece of executed schedule: job JobID ran
-// on Resource during [Start, End). Migration-debt service is included in
-// the job's occupancy.
-type ExecSegment struct {
-	Resource int     `json:"resource"`
-	JobID    int     `json:"job"`
-	Start    float64 `json:"start"`
-	End      float64 `json:"end"`
-}
-
-// Validate checks the configuration.
-func (c *Config) Validate() error {
-	switch {
-	case c.Platform == nil:
-		return errors.New("sim: no platform")
-	case c.TaskSet == nil:
-		return errors.New("sim: no task set")
-	case c.Solver == nil:
-		return errors.New("sim: no solver")
-	case c.ExtraOverhead < 0:
-		return errors.New("sim: negative overhead")
-	case c.Lookahead < 0:
-		return errors.New("sim: negative lookahead")
-	case c.Lookahead > 1 && c.Predictor == nil:
-		return errors.New("sim: lookahead needs a predictor")
-	}
-	return nil
-}
+// ExecSegment is one contiguous piece of executed schedule.
+type ExecSegment = engine.ExecSegment
 
 // JobRecord is the per-request outcome.
-type JobRecord struct {
-	// ID is the request's index in the trace.
-	ID int
-	// Type is the task type.
-	Type int
-	// Arrival and AbsDeadline are absolute times.
-	Arrival, AbsDeadline float64
-	// Accepted reports admission.
-	Accepted bool
-	// FinishTime is the completion time of accepted jobs.
-	FinishTime float64
-	// Energy is the energy this job consumed, including its migrations.
-	Energy float64
-	// Migrations counts charged relocations.
-	Migrations int
-	// MissedDeadline flags an accepted job finishing late — an invariant
-	// violation of the resource manager.
-	MissedDeadline bool
-}
+type JobRecord = engine.JobRecord
 
 // Result aggregates one trace's simulation.
-type Result struct {
-	// Requests is the trace length; Accepted + Rejected == Requests.
-	Requests, Accepted, Rejected int
-	// TotalEnergy is the energy of all executed work plus migrations.
-	TotalEnergy float64
-	// MigrationEnergy is the migration share of TotalEnergy.
-	MigrationEnergy float64
-	// Migrations counts charged relocations.
-	Migrations int
-	// DeadlineMisses counts accepted jobs that finished late (must be 0
-	// for a sound RM).
-	DeadlineMisses int
-	// CriticalJobs counts critical releases served; CriticalEnergy their
-	// consumption (not included in TotalEnergy); CriticalMisses their
-	// deadline violations (must be 0).
-	CriticalJobs   int
-	CriticalEnergy float64
-	CriticalMisses int
-	// MakeSpan is when the last accepted job finished.
-	MakeSpan float64
-	// Execution is the executed schedule when Config.RecordExecution is
-	// set, ordered by start time within each resource.
-	Execution []ExecSegment
-	// Jobs holds one record per request, in trace order.
-	Jobs []JobRecord
-	// Telemetry is the metrics snapshot of the run when Config.Metrics was
-	// set (solver-latency histogram, event counters, solver instruments);
-	// nil otherwise.
-	Telemetry *telemetry.Snapshot
-}
-
-// RejectionPct returns the rejected percentage of requests.
-func (r *Result) RejectionPct() float64 {
-	if r.Requests == 0 {
-		return 0
-	}
-	return 100 * float64(r.Rejected) / float64(r.Requests)
-}
-
-// planSeg is one piece of the standing schedule: job runs on its resource
-// during [start, end); a nil job is a reservation for the predicted task
-// (the resource idles through it).
-type planSeg struct {
-	job        *sched.Job
-	start, end float64
-}
-
-// instruments bundles the simulator's registered metrics. All fields are
-// nil when the run has no registry, making every operation a no-op.
-type instruments struct {
-	requests, accepted, rejected     *telemetry.Counter
-	predictions, migrations          *telemetry.Counter
-	criticalReleases                 *telemetry.Counter
-	resvPlanned, resvHonoured        *telemetry.Counter
-	resvBackfilled                   *telemetry.Counter
-	solverSec, replanSec, advanceSec *telemetry.Histogram
-	activeJobs                       *telemetry.Histogram
-	activePeak                       *telemetry.Gauge
-}
-
-// newInstruments registers the simulator's instruments on reg (nil-safe).
-func newInstruments(reg *telemetry.Registry) instruments {
-	return instruments{
-		requests:         reg.Counter("sim.requests"),
-		accepted:         reg.Counter("sim.accepted"),
-		rejected:         reg.Counter("sim.rejected"),
-		predictions:      reg.Counter("sim.predictions"),
-		migrations:       reg.Counter("sim.migrations"),
-		criticalReleases: reg.Counter("sim.critical_releases"),
-		resvPlanned:      reg.Counter("sim.reservations_planned"),
-		resvHonoured:     reg.Counter("sim.reservations_honoured"),
-		resvBackfilled:   reg.Counter("sim.reservations_backfilled"),
-		solverSec:        reg.Histogram("sim.solver_seconds", telemetry.LatencyBuckets),
-		replanSec:        reg.Histogram("sim.replan_seconds", telemetry.LatencyBuckets),
-		advanceSec:       reg.Histogram("sim.advance_seconds", telemetry.LatencyBuckets),
-		activeJobs:       reg.Histogram("sim.active_jobs", telemetry.CountBuckets),
-		activePeak:       reg.Gauge("sim.active_jobs_peak"),
-	}
-}
-
-// runner is the mutable simulation state.
-type runner struct {
-	cfg    Config
-	now    float64
-	active []*sched.Job
-	rec    []JobRecord
-	res    *Result
-	// plan holds the standing schedule per resource (plan-based mode).
-	plan [][]planSeg
-	// exec accumulates executed segments per resource (RecordExecution).
-	exec [][]ExecSegment
-	// criticalNext tracks the next release index per critical task.
-	criticalNext []int
-	// trc and ins are the run's telemetry handles (nil-safe no-ops when
-	// telemetry is disabled).
-	trc *telemetry.Tracer
-	ins instruments
-	// pendingResv holds the reservations installed by the last replan, so
-	// the next activation can report whether they were held (plan mode).
-	pendingResv []ghostRef
-	// running tracks, per resource, the job currently mid-execution there.
-	// It exists only to emit job_start/job_preempt/job_finish lifecycle
-	// events and is nil when tracing is disabled.
-	running []*sched.Job
-	// prov is the decision-provenance arena, non-nil only when
-	// Config.Provenance is on; it is Reset at every activation and
-	// snapshotted into the EvDecision event.
-	prov *telemetry.ProvRecorder
-	// critEnergy accumulates per-job energy for critical releases (adaptive
-	// jobs use their JobRecord), so job_finish can report consumption.
-	// Trace-only, like running.
-	critEnergy map[*sched.Job]float64
-	// finished counts completed adaptive jobs, for StateProbe samples.
-	finished int
-}
-
-// probe reports the current RM state through Config.StateProbe.
-func (r *runner) probe(req int) {
-	if r.cfg.StateProbe == nil {
-		return
-	}
-	s := StateSample{
-		Time:           r.now,
-		Req:            req,
-		Requests:       r.res.Accepted + r.res.Rejected,
-		Accepted:       r.res.Accepted,
-		Rejected:       r.res.Rejected,
-		Finished:       r.finished,
-		DeadlineMisses: r.res.DeadlineMisses,
-		InFlight:       len(r.active),
-		Resources:      make([]ResourceSample, r.cfg.Platform.Len()),
-	}
-	for _, j := range r.active {
-		if j.Resource == sched.Unmapped {
-			continue
-		}
-		rs := &s.Resources[j.Resource]
-		rs.Jobs++
-		if rs.NextDeadline == 0 || j.AbsDeadline < rs.NextDeadline {
-			rs.NextDeadline = j.AbsDeadline
-		}
-	}
-	for _, g := range r.pendingResv {
-		s.Resources[g.res].Reserved++
-	}
-	r.cfg.StateProbe(s)
-}
-
-// emitLifecycle reports a job execution transition on resource res.
-func (r *runner) emitLifecycle(typ telemetry.EventType, j *sched.Job, res int, reason string) {
-	e := telemetry.NewEvent(r.now, typ)
-	e.Req = j.ID
-	e.Task = j.Type.ID
-	e.Res = res
-	e.Reason = reason
-	e.Value = j.Frac
-	r.trc.Emit(e)
-}
-
-// reasonCounter bumps the per-reason outcome counter (e.g.
-// sim.reject_reason.no_feasible_mapping). The registry's get-or-create
-// lookup makes the counter set self-defining: a reason appears the first
-// time it is charged.
-func (r *runner) reasonCounter(prefix, reason string) {
-	if r.cfg.Metrics == nil {
-		return
-	}
-	r.cfg.Metrics.Counter(prefix + reason).Inc()
-}
-
-// emitDecision publishes the activation's decision-provenance record as an
-// EvDecision event carrying a deep-copied snapshot of the arena (the
-// tracer ring outlives the next Reset).
-func (r *runner) emitDecision(req, taskType, res int, reason string, energy float64) {
-	if r.prov == nil || r.trc == nil {
-		return
-	}
-	e := telemetry.NewEvent(r.now, telemetry.EvDecision)
-	e.Req = req
-	e.Task = taskType
-	e.Res = res
-	e.Reason = reason
-	e.Value = energy
-	e.Prov = r.prov.Snapshot()
-	r.trc.Emit(e)
-}
-
-// noteExec registers that j is about to execute on res, emitting job_start
-// when the resource's occupancy changes. Called only when tracing.
-func (r *runner) noteExec(j *sched.Job, res int) {
-	if r.running[res] == j {
-		return
-	}
-	reason := telemetry.ReasonStart
-	if j.Started {
-		reason = telemetry.ReasonResume
-	}
-	r.emitLifecycle(telemetry.EvJobStart, j, res, reason)
-	r.running[res] = j
-}
-
-// notePauses closes the occupancy slot of every resource whose current
-// occupant does not continue executing there in the step about to run,
-// emitting job_preempt with the transition cause. Finished occupants are
-// reported by reap instead. Called only when tracing.
-func (r *runner) notePauses(acts []execAction) {
-	for res, occ := range r.running {
-		if occ == nil {
-			continue
-		}
-		continues, migrates := false, false
-		var displacer *sched.Job
-		for _, a := range acts {
-			switch {
-			case a.res == res && a.job == occ:
-				continues = true
-			case a.res == res:
-				displacer = a.job
-			case a.job == occ:
-				migrates = true
-			}
-		}
-		if continues {
-			continue
-		}
-		if occ.Done() {
-			r.running[res] = nil // reap emits job_finish
-			continue
-		}
-		reason := telemetry.ReasonPaused
-		if displacer != nil {
-			reason = telemetry.ReasonDisplaced
-		}
-		if migrates {
-			reason = telemetry.ReasonMigrated
-		}
-		r.emitLifecycle(telemetry.EvJobPreempt, occ, res, reason)
-		r.running[res] = nil
-	}
-}
-
-// execAction is one (resource, job) dispatch of an execution step.
-type execAction struct {
-	res int
-	job *sched.Job
-}
-
-// flushReservations reports the fate of the standing reservations once the
-// next activation replaces them: a reservation whose window had begun was
-// held idle by the planned schedule (honoured).
-func (r *runner) flushReservations() {
-	for _, g := range r.pendingResv {
-		if r.now+sched.Eps >= g.job.Arrival {
-			r.ins.resvHonoured.Inc()
-			e := telemetry.NewEvent(r.now, telemetry.EvReservationHonoured)
-			e.Res = g.res
-			e.Value = g.job.Arrival
-			r.trc.Emit(e)
-		}
-	}
-	r.pendingResv = nil
-}
-
-// advanceTo advances execution to target, materialising critical releases
-// on the way (each release joins the active set and triggers a replan).
-func (r *runner) advanceTo(target float64) error {
-	if r.cfg.Critical == nil {
-		r.advance(target)
-		return nil
-	}
-	for {
-		rel, ok := r.nextCriticalRelease()
-		if !ok || rel >= target-sched.Eps {
-			break
-		}
-		r.advance(rel)
-		r.materializeCritical(rel)
-		if err := r.replan(nil); err != nil {
-			return err
-		}
-	}
-	r.advance(target)
-	return nil
-}
-
-// nextCriticalRelease returns the earliest unmaterialised release time.
-func (r *runner) nextCriticalRelease() (float64, bool) {
-	best := math.Inf(1)
-	found := false
-	for tid, t := range r.cfg.Critical.Tasks {
-		if rel := t.ReleaseAt(r.criticalNext[tid]); rel < best {
-			best = rel
-			found = true
-		}
-	}
-	return best, found
-}
-
-// nextCriticalReleaseIfAny is nextCriticalRelease tolerating a nil set.
-func (r *runner) nextCriticalReleaseIfAny() (float64, bool) {
-	if r.cfg.Critical == nil {
-		return 0, false
-	}
-	return r.nextCriticalRelease()
-}
-
-// hasAdaptiveWork reports whether any trace-driven job is still active.
-func (r *runner) hasAdaptiveWork() bool {
-	for _, j := range r.active {
-		if j.ID >= 0 {
-			return true
-		}
-	}
-	return false
-}
-
-// materializeCritical activates every critical job releasing at time rel.
-func (r *runner) materializeCritical(rel float64) {
-	for tid, t := range r.cfg.Critical.Tasks {
-		k := r.criticalNext[tid]
-		if math.Abs(t.ReleaseAt(k)-rel) > sched.Eps {
-			continue
-		}
-		r.criticalNext[tid] = k + 1
-		j := r.cfg.Critical.Release(r.cfg.Platform, tid, k)
-		r.active = append(r.active, j)
-		r.res.CriticalJobs++
-		r.ins.criticalReleases.Inc()
-		if r.trc != nil {
-			e := telemetry.NewEvent(rel, telemetry.EvCriticalRelease)
-			e.Task = tid
-			e.Res = j.Resource
-			e.Value = float64(k)
-			r.trc.Emit(e)
-		}
-	}
-}
-
-// upcomingCritical returns planning copies of the critical releases within
-// the adaptive decision window of jobs.
-func (r *runner) upcomingCritical(jobs []*sched.Job) []*sched.Job {
-	if r.cfg.Critical == nil {
-		return nil
-	}
-	horizon := r.now
-	for _, j := range jobs {
-		if j.AbsDeadline > horizon {
-			horizon = j.AbsDeadline
-		}
-	}
-	return r.cfg.Critical.UpcomingJobs(r.cfg.Platform, r.now, horizon)
-}
+type Result = engine.Result
 
 // Run simulates tr under cfg and returns per-trace results. The trace must
 // be valid against cfg.TaskSet.
@@ -560,632 +51,20 @@ func Run(cfg Config, tr *trace.Trace) (*Result, error) {
 	if err := tr.Validate(cfg.TaskSet); err != nil {
 		return nil, err
 	}
-	if cfg.Predictor != nil {
-		cfg.Predictor.Reset()
-	}
-	r := &runner{
-		cfg: cfg,
-		res: &Result{Requests: tr.Len()},
-		rec: make([]JobRecord, tr.Len()),
-		trc: cfg.Tracer,
-		ins: newInstruments(cfg.Metrics),
-	}
-	if r.trc != nil {
-		r.running = make([]*sched.Job, cfg.Platform.Len())
-		r.critEnergy = make(map[*sched.Job]float64)
-	}
-	if cfg.Metrics != nil {
-		if inst, ok := cfg.Solver.(telemetry.Instrumentable); ok {
-			inst.AttachMetrics(cfg.Metrics)
-		}
-	}
-	if cfg.Provenance {
-		r.prov = telemetry.NewProvRecorder()
-		if pa, ok := cfg.Solver.(telemetry.ProvenanceAware); ok {
-			pa.AttachProvenance(r.prov)
-		}
-	}
-	if cfg.Critical != nil {
-		if err := cfg.Critical.Validate(cfg.Platform); err != nil {
-			return nil, err
-		}
-		r.criticalNext = make([]int, len(cfg.Critical.Tasks))
+	eng, err := engine.New(cfg)
+	if err != nil {
+		return nil, err
 	}
 	for idx, req := range tr.Requests {
-		r.rec[idx] = JobRecord{
-			ID:          idx,
-			Type:        req.Type,
-			Arrival:     req.Arrival,
-			AbsDeadline: req.Arrival + req.Deadline,
-		}
-		r.ins.requests.Inc()
-		if err := r.advanceTo(req.Arrival); err != nil {
+		if _, err := eng.Activate(idx, req); err != nil {
 			return nil, err
 		}
-		// Emitted after advancing so the stream stays time-ordered: the
-		// execution events between two arrivals carry earlier timestamps.
-		if r.trc != nil {
-			e := telemetry.NewEvent(req.Arrival, telemetry.EvArrival)
-			e.Req = idx
-			e.Task = req.Type
-			e.Value = req.Arrival + req.Deadline
-			r.trc.Emit(e)
-		}
-
-		overhead := cfg.ExtraOverhead
-		if cfg.Predictor != nil {
-			overhead += cfg.Predictor.Overhead()
-		}
-		if cfg.OverheadHook != nil {
-			overhead += cfg.OverheadHook(idx, req.Arrival)
-		}
-		decisionTime := math.Max(r.now, req.Arrival+overhead)
-		if err := r.advanceTo(decisionTime); err != nil {
-			return nil, err
-		}
-
-		if cfg.Audit {
-			if err := r.auditState(idx); err != nil {
-				return nil, err
-			}
-		}
-
-		newJob := sched.NewJob(idx, cfg.TaskSet.Type(req.Type), req.Arrival, req.Deadline)
-		jobs := make([]*sched.Job, 0, len(r.active)+2)
-		jobs = append(jobs, r.active...)
-		newIdx := len(jobs)
-		jobs = append(jobs, newJob)
-		jobs = append(jobs, r.upcomingCritical(jobs)...)
-
-		predicting := false
-		if cfg.Predictor != nil {
-			cfg.Predictor.Observe(idx, req)
-			var preds []predict.Prediction
-			if mp, ok := cfg.Predictor.(predict.MultiPredictor); ok && cfg.Lookahead > 1 {
-				preds = mp.PredictK(cfg.Lookahead)
-			} else if pred, ok := cfg.Predictor.Predict(); ok {
-				preds = []predict.Prediction{pred}
-			}
-			for step, pred := range preds {
-				if pred.Type >= 0 && pred.Type < cfg.TaskSet.Len() && pred.Deadline > 0 {
-					pj := sched.NewJob(-1-step, cfg.TaskSet.Type(pred.Type), pred.Arrival, pred.Deadline)
-					pj.Predicted = true
-					jobs = append(jobs, pj)
-					predicting = true
-					r.ins.predictions.Inc()
-					if r.trc != nil {
-						e := telemetry.NewEvent(r.now, telemetry.EvPrediction)
-						e.Req = idx
-						e.Task = pred.Type
-						e.Value = pred.Arrival
-						r.trc.Emit(e)
-					}
-				}
-			}
-		}
-
-		problem := &sched.Problem{
-			Platform: cfg.Platform,
-			Time:     r.now,
-			Jobs:     jobs,
-			Policy:   cfg.Policy,
-		}
-		if r.trc != nil {
-			e := telemetry.NewEvent(r.now, telemetry.EvSolverInvoked)
-			e.Req = idx
-			e.Task = req.Type
-			e.Value = float64(len(jobs))
-			r.trc.Emit(e)
-		}
-		measuring := r.trc != nil || r.ins.solverSec != nil
-		var solveStart time.Time
-		if measuring {
-			solveStart = time.Now()
-		}
-		r.prov.Reset()
-		decision, admitted, solveErr := core.AdmitProv(cfg.Solver, problem, r.prov)
-		var wall time.Duration
-		if measuring {
-			wall = time.Since(solveStart)
-			r.ins.solverSec.Observe(wall.Seconds())
-		}
-		if solveErr != nil {
-			// A fallible solver failed outright (core.FallibleSolver) with no
-			// resilience chain to absorb it. Report the failure with its
-			// request coordinates and abort the run — continuing would
-			// silently convert a solver outage into rejections.
-			if r.trc != nil {
-				e := telemetry.NewEvent(r.now, telemetry.EvSolverReturned)
-				e.Req = idx
-				e.WallNs = wall.Nanoseconds()
-				e.Reason = telemetry.ReasonError
-				r.trc.Emit(e)
-			}
-			return nil, fmt.Errorf("sim: solver failed at request %d (t=%.6f): %w", idx, r.now, solveErr)
-		}
-		if r.trc != nil {
-			e := telemetry.NewEvent(r.now, telemetry.EvSolverReturned)
-			e.Req = idx
-			e.WallNs = wall.Nanoseconds()
-			if admitted {
-				e.Reason = telemetry.ReasonFeasible
-				e.Value = decision.Energy
-			} else {
-				e.Reason = telemetry.ReasonInfeasible
-			}
-			r.trc.Emit(e)
-		}
-		if !admitted {
-			r.res.Rejected++
-			r.ins.rejected.Inc()
-			r.reasonCounter("sim.reject_reason.", telemetry.ReasonNoFeasibleMapping)
-			if r.trc != nil {
-				e := telemetry.NewEvent(r.now, telemetry.EvReject)
-				e.Req = idx
-				e.Task = req.Type
-				e.Reason = telemetry.ReasonNoFeasibleMapping
-				r.trc.Emit(e)
-			}
-			r.emitDecision(idx, req.Type, sched.Unmapped, telemetry.ReasonNoFeasibleMapping, 0)
-			// Drop any stale reservation (its request has now arrived) but
-			// keep the standing mappings.
-			if err := r.replan(nil); err != nil {
-				return nil, err
-			}
-			r.probe(idx)
-			continue
-		}
-		r.res.Accepted++
-		r.ins.accepted.Inc()
-		r.rec[idx].Accepted = true
-		r.apply(problem, decision, newJob)
-		var ghosts []ghostRef
-		for i, j := range problem.Jobs {
-			if j.Predicted && decision.Mapping[i] != sched.Unmapped {
-				ghosts = append(ghosts, ghostRef{job: j, res: decision.Mapping[i]})
-			}
-		}
-		admitReason := telemetry.ReasonPlain
-		switch {
-		case len(ghosts) > 0:
-			admitReason = telemetry.ReasonWithReservation
-		case predicting:
-			admitReason = telemetry.ReasonPredictionDropped
-		}
-		r.reasonCounter("sim.admit_reason.", admitReason)
-		if r.trc != nil {
-			e := telemetry.NewEvent(r.now, telemetry.EvAdmit)
-			e.Req = idx
-			e.Task = req.Type
-			e.Res = decision.Mapping[newIdx]
-			e.Reason = admitReason
-			r.trc.Emit(e)
-		}
-		r.emitDecision(idx, req.Type, decision.Mapping[newIdx], admitReason, decision.Energy)
-		for _, g := range ghosts {
-			r.ins.resvPlanned.Inc()
-			if cfg.WorkConserving {
-				r.ins.resvBackfilled.Inc()
-			}
-			if r.trc != nil {
-				e := telemetry.NewEvent(r.now, telemetry.EvReservationPlanned)
-				e.Req = idx
-				e.Res = g.res
-				e.Value = g.job.Arrival
-				r.trc.Emit(e)
-				if cfg.WorkConserving {
-					e.Type = telemetry.EvReservationBackfilled
-					r.trc.Emit(e)
-				}
-			}
-		}
-		r.ins.activeJobs.Observe(float64(len(r.active)))
-		r.ins.activePeak.Set(float64(len(r.active)))
-		if err := r.replan(ghosts); err != nil {
-			return nil, err
-		}
-		r.probe(idx)
 	}
 	// Drain: run until all adaptive work finishes, serving critical
 	// releases along the way, then let already-released critical jobs run
 	// out.
-	for r.hasAdaptiveWork() {
-		rel, ok := r.nextCriticalReleaseIfAny()
-		if !ok {
-			break
-		}
-		r.advance(rel)
-		if r.hasAdaptiveWork() {
-			r.materializeCritical(rel)
-			if err := r.replan(nil); err != nil {
-				return nil, err
-			}
-		}
+	if err := eng.Drain(); err != nil {
+		return nil, err
 	}
-	r.advance(math.Inf(1))
-	r.flushReservations()
-	r.probe(-1)
-	r.res.Jobs = r.rec
-	for _, segs := range r.exec {
-		r.res.Execution = append(r.res.Execution, segs...)
-	}
-	if cfg.Metrics != nil {
-		if cfg.Tracer != nil {
-			// Ring overwrites silently lose events; surface the count so
-			// summaries and /metrics can warn about a lossy recording.
-			cfg.Metrics.Gauge("telemetry.tracer.dropped").Set(float64(cfg.Tracer.Dropped()))
-		}
-		r.res.Telemetry = cfg.Metrics.Snapshot()
-	}
-	return r.res, nil
-}
-
-// auditState verifies the standing schedule is still feasible (Config.Audit).
-func (r *runner) auditState(beforeRequest int) error {
-	if len(r.active) == 0 {
-		return nil
-	}
-	p := &sched.Problem{Platform: r.cfg.Platform, Time: r.now, Jobs: r.active, Policy: r.cfg.Policy}
-	mapping := make([]int, len(r.active))
-	for i, j := range r.active {
-		mapping[i] = j.Resource
-	}
-	if !p.FeasibleMapping(mapping) {
-		return fmt.Errorf("sim: audit before request %d at t=%.6f: standing schedule infeasible; jobs=%v",
-			beforeRequest, r.now, r.active)
-	}
-	return nil
-}
-
-// apply installs an admission decision: remaps active jobs (charging
-// migrations) and activates the new job.
-func (r *runner) apply(p *sched.Problem, d core.Decision, newJob *sched.Job) {
-	for i, j := range p.Jobs {
-		if j.Predicted {
-			continue // planning constraint only (Sec 4.1)
-		}
-		target := d.Mapping[i]
-		if target == sched.Unmapped {
-			// Cannot happen for an admitted decision; guard loudly.
-			panic(fmt.Sprintf("sim: admitted decision leaves %v unmapped", j))
-		}
-		if j.Resource != sched.Unmapped && j.Resource != target {
-			charged := j.Started || p.Policy == sched.ChargeAlways
-			r.prov.Remap(j.ID, j.Resource, target, charged)
-			if charged {
-				j.MigDebt += j.Type.MigTime
-				rec := &r.rec[j.ID]
-				rec.Migrations++
-				rec.Energy += j.Type.MigEnergy
-				r.res.Migrations++
-				r.res.MigrationEnergy += j.Type.MigEnergy
-				r.res.TotalEnergy += j.Type.MigEnergy
-				r.ins.migrations.Inc()
-				if r.trc != nil {
-					e := telemetry.NewEvent(r.now, telemetry.EvMigration)
-					e.Req = j.ID
-					e.Res = target
-					e.Value = j.Type.MigEnergy
-					r.trc.Emit(e)
-				}
-			}
-		}
-		j.Resource = target
-	}
-	r.active = append(r.active, newJob)
-}
-
-// ghostRef is one mapped predicted job carried into the standing plan.
-type ghostRef struct {
-	job *sched.Job
-	res int
-}
-
-// replan rebuilds the standing schedule from the active jobs' current
-// mappings, optionally reserving capacity for the mapped predicted jobs.
-// A failure to reconstruct a feasible schedule means the RM's invariant
-// broke; it is surfaced as an error.
-func (r *runner) replan(ghosts []ghostRef) error {
-	if r.cfg.WorkConserving {
-		return nil // greedy dispatch reads job state directly
-	}
-	defer telemetry.StartTimer(r.ins.replanSec).Stop()
-	// The previous activation's reservations end here; report their fate.
-	r.flushReservations()
-	r.pendingResv = ghosts
-	jobs := make([]*sched.Job, 0, len(r.active)+len(ghosts))
-	jobs = append(jobs, r.active...)
-	mapping := make([]int, 0, cap(jobs))
-	for _, j := range jobs {
-		mapping = append(mapping, j.Resource)
-	}
-	for _, g := range ghosts {
-		jobs = append(jobs, g.job)
-		mapping = append(mapping, g.res)
-	}
-	if len(jobs) == 0 {
-		r.plan = nil
-		return nil
-	}
-	p := &sched.Problem{Platform: r.cfg.Platform, Time: r.now, Jobs: jobs, Policy: r.cfg.Policy}
-	segsByRes, ok := p.Schedule(mapping)
-	if !ok {
-		return fmt.Errorf("sim: replan at t=%.6f produced an infeasible schedule (RM invariant broken); jobs=%v",
-			r.now, jobs)
-	}
-	plan := make([][]planSeg, r.cfg.Platform.Len())
-	for res, segs := range segsByRes {
-		for _, s := range segs {
-			ps := planSeg{start: s.Start, end: s.End}
-			if !jobs[s.Index].Predicted {
-				ps.job = jobs[s.Index]
-			}
-			plan[res] = append(plan[res], ps)
-		}
-	}
-	r.plan = plan
-	return nil
-}
-
-// advance executes the standing schedule up to time target.
-func (r *runner) advance(target float64) {
-	defer telemetry.StartTimer(r.ins.advanceSec).Stop()
-	if r.cfg.WorkConserving {
-		r.advanceGreedy(target)
-		return
-	}
-	for r.now < target-sched.Eps {
-		if len(r.active) == 0 {
-			break // reap keeps only unfinished jobs
-		}
-		var acts []execAction
-		step := math.Inf(1)
-		if !math.IsInf(target, 1) {
-			step = target - r.now
-		}
-		for res, segs := range r.plan {
-			for _, s := range segs {
-				if s.end <= r.now+sched.Eps {
-					continue // past
-				}
-				if s.job != nil && s.job.Done() {
-					continue // completed (slightly early by rounding)
-				}
-				if s.start > r.now+sched.Eps {
-					// Idle until the next segment starts.
-					if d := s.start - r.now; d < step {
-						step = d
-					}
-					break
-				}
-				if s.job == nil {
-					// Inside a ghost reservation: idle through it.
-					if d := s.end - r.now; d < step {
-						step = d
-					}
-					break
-				}
-				need := s.job.MigDebt + s.job.Frac*s.job.Type.WCET[res]
-				bound := math.Min(need, s.end-r.now)
-				if bound < step {
-					step = bound
-				}
-				acts = append(acts, execAction{res, s.job})
-				break
-			}
-		}
-		if len(acts) == 0 && math.IsInf(step, 1) {
-			break // no runnable segment and no upcoming boundary
-		}
-		if step <= 0 {
-			step = sched.Eps
-		}
-		if r.running != nil {
-			r.notePauses(acts)
-		}
-		for _, a := range acts {
-			r.execute(a.job, a.res, step)
-		}
-		r.now += step
-		r.reap()
-	}
-	if !math.IsInf(target, 1) && target > r.now {
-		r.now = target
-	}
-}
-
-// advanceGreedy executes work-conserving EDF dispatch up to target
-// (Config.WorkConserving).
-func (r *runner) advanceGreedy(target float64) {
-	for r.now < target-sched.Eps {
-		// Pick each resource's EDF head.
-		heads := make(map[int]*sched.Job, r.cfg.Platform.Len())
-		for _, j := range r.active {
-			if j.Done() || j.Resource == sched.Unmapped {
-				continue
-			}
-			cur, ok := heads[j.Resource]
-			if !ok {
-				heads[j.Resource] = j
-				continue
-			}
-			heads[j.Resource] = preferHead(r.cfg.Platform, cur, j)
-		}
-		if len(heads) == 0 {
-			break // idle until target
-		}
-		// Next event: earliest head completion, capped at target.
-		step := target - r.now
-		for res, j := range heads {
-			need := j.MigDebt + j.Frac*j.Type.WCET[res]
-			if need < step {
-				step = need
-			}
-		}
-		if step <= 0 {
-			step = sched.Eps
-		}
-		// Dispatch in resource order so trace emission is deterministic.
-		acts := make([]execAction, 0, len(heads))
-		for res := 0; res < r.cfg.Platform.Len(); res++ {
-			if j, ok := heads[res]; ok {
-				acts = append(acts, execAction{res, j})
-			}
-		}
-		if r.running != nil {
-			r.notePauses(acts)
-		}
-		for _, a := range acts {
-			r.execute(a.job, a.res, step)
-		}
-		r.now += step
-		r.reap()
-	}
-	if !math.IsInf(target, 1) && target > r.now {
-		r.now = target
-	}
-}
-
-// preferHead picks which of two jobs on the same resource runs now: the
-// mid-execution occupant on non-preemptable resources, otherwise the
-// earlier deadline (ties: lower ID, deterministic).
-func preferHead(p *platform.Platform, a, b *sched.Job) *sched.Job {
-	if !p.Resource(a.Resource).Preemptable() {
-		ao := a.ExecRes == a.Resource
-		bo := b.ExecRes == b.Resource
-		if ao != bo {
-			if ao {
-				return a
-			}
-			return b
-		}
-	}
-	if a.AbsDeadline != b.AbsDeadline {
-		if a.AbsDeadline < b.AbsDeadline {
-			return a
-		}
-		return b
-	}
-	if a.ID <= b.ID {
-		return a
-	}
-	return b
-}
-
-// execute serves dt time of job j on resource res: migration debt first,
-// then useful work with energy accounting.
-func (r *runner) execute(j *sched.Job, res int, dt float64) {
-	if r.running != nil {
-		r.noteExec(j, res)
-	}
-	j.Started = true
-	j.ExecRes = res
-	if r.cfg.RecordExecution {
-		r.record(res, j.ID, dt)
-	}
-	if j.MigDebt > 0 {
-		served := math.Min(j.MigDebt, dt)
-		j.MigDebt -= served
-		dt -= served
-		if j.MigDebt < sched.Eps {
-			j.MigDebt = 0
-		}
-		if dt <= 0 {
-			return
-		}
-	}
-	wcet := j.Type.WCET[res]
-	frac := dt / wcet
-	if frac > j.Frac {
-		frac = j.Frac
-	}
-	j.Frac -= frac
-	energy := j.Type.Energy[res] * frac
-	if j.ID >= 0 {
-		r.rec[j.ID].Energy += energy
-		r.res.TotalEnergy += energy
-	} else {
-		r.res.CriticalEnergy += energy
-		if r.critEnergy != nil {
-			r.critEnergy[j] += energy
-		}
-	}
-	if j.Frac < sched.Eps {
-		j.Frac = 0
-	}
-}
-
-// record appends execution time to the per-resource trace, merging
-// contiguous segments of the same job.
-func (r *runner) record(res, jobID int, dt float64) {
-	if r.exec == nil {
-		r.exec = make([][]ExecSegment, r.cfg.Platform.Len())
-	}
-	segs := r.exec[res]
-	if n := len(segs); n > 0 {
-		last := &segs[n-1]
-		if last.JobID == jobID && last.End >= r.now-sched.Eps {
-			last.End = r.now + dt
-			return
-		}
-	}
-	r.exec[res] = append(segs, ExecSegment{
-		Resource: res, JobID: jobID, Start: r.now, End: r.now + dt,
-	})
-}
-
-// noteFinish emits job_finish for a completed job and releases its
-// occupancy slot. Called only when tracing.
-func (r *runner) noteFinish(j *sched.Job) {
-	res := j.ExecRes
-	for i, occ := range r.running {
-		if occ == j {
-			r.running[i] = nil
-			res = i
-		}
-	}
-	e := telemetry.NewEvent(r.now, telemetry.EvJobFinish)
-	e.Req = j.ID
-	e.Task = j.Type.ID
-	e.Res = res
-	if j.ID >= 0 {
-		e.Value = r.rec[j.ID].Energy
-	} else {
-		e.Value = r.critEnergy[j]
-		e.Reason = telemetry.ReasonCritical
-		delete(r.critEnergy, j)
-	}
-	r.trc.Emit(e)
-}
-
-// reap retires completed jobs, auditing the deadline invariant.
-func (r *runner) reap() {
-	kept := r.active[:0]
-	for _, j := range r.active {
-		if !j.Done() {
-			kept = append(kept, j)
-			continue
-		}
-		if r.running != nil {
-			r.noteFinish(j)
-		}
-		if j.ID < 0 {
-			// Critical job: only the deadline audit applies.
-			if r.now > j.AbsDeadline+1e-6 {
-				r.res.CriticalMisses++
-			}
-			continue
-		}
-		r.finished++
-		rec := &r.rec[j.ID]
-		rec.FinishTime = r.now
-		if r.now > j.AbsDeadline+1e-6 {
-			rec.MissedDeadline = true
-			r.res.DeadlineMisses++
-		}
-		if r.now > r.res.MakeSpan {
-			r.res.MakeSpan = r.now
-		}
-	}
-	r.active = kept
+	return eng.Finalize(), nil
 }
