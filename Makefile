@@ -1,7 +1,7 @@
 GO ?= go
 GOFMT ?= gofmt
 
-.PHONY: check build test vet fmtcheck race bench benchcheck tracecheck faultcheck obscheck explaincheck warmcheck servecheck
+.PHONY: check build test vet fmtcheck race bench benchcheck tracecheck faultcheck obscheck explaincheck warmcheck servecheck shardcheck
 
 # check is the repo gate: vet, formatting, build everything, run the full
 # test suite under the race detector (the telemetry layer and the parallel
@@ -12,9 +12,10 @@ GOFMT ?= gofmt
 # fault-injection resilience path (skip: FAULTCHECK=0), exercise the live
 # introspection plane end to end (skip: OBSCHECK=0), exercise the
 # decision-provenance plane (skip: EXPLAINCHECK=0), prove warm-start
-# solving decision-neutral (skip: WARMCHECK=0), and drive the wall-clock
-# serving mode end to end (skip: SERVECHECK=0).
-check: vet fmtcheck build race tracecheck benchcheck faultcheck obscheck explaincheck warmcheck servecheck
+# solving decision-neutral (skip: WARMCHECK=0), drive the wall-clock
+# serving mode end to end (skip: SERVECHECK=0), and pin the scale-out
+# layer's equivalences (skip: SHARDCHECK=0).
+check: vet fmtcheck build race tracecheck benchcheck faultcheck obscheck explaincheck warmcheck servecheck shardcheck
 
 # fmtcheck fails when any Go file is not gofmt-formatted (gofmt -l output
 # is the offending file list).
@@ -121,6 +122,23 @@ warmcheck:
 	else \
 		$(GO) test -race -run 'WarmStart|WarmState|Repair|FingerprintChurn|ParallelMatchesSerial' \
 			./internal/sched/ ./internal/core/ ./internal/exact/ ./internal/experiments/; \
+	fi
+
+# shardcheck pins the scale-out admission layer under the race detector:
+# the 1-shard sharded engine is byte-identical to the unsharded path,
+# singleton batch epochs are byte-identical to one-by-one admission,
+# sharded batched runs are deterministic despite concurrent per-shard
+# solves, next-wake/late-advance behave across shard boundaries, the
+# indexed candidate scan matches the plain heuristic bit-for-bit, and the
+# platform spec/partition/projection plumbing underneath holds. Set
+# SHARDCHECK=0 to skip.
+SHARDCHECK ?= 1
+shardcheck:
+	@if [ "$(SHARDCHECK)" = "0" ]; then \
+		echo "shardcheck: skipped (SHARDCHECK=0)"; \
+	else \
+		$(GO) test -race -run 'Sharded|BatchEpoch|IndexedHeuristic|LoadIndex|Partition|ParseSpec|Project' \
+			./internal/sim/ ./internal/engine/ ./internal/core/ ./internal/platform/ ./internal/sched/ ./internal/task/; \
 	fi
 
 # servecheck drives the wall-clock serving mode end to end under the race

@@ -10,7 +10,7 @@
 // Experiment ids: motivational, milp-vs-heuristic, fig2a, fig2b, fig3a,
 // fig3b, fig4a, fig4b, fig5, ablation-regret, ablation-migration,
 // online-predictors, lookahead, baseline-static, load-surface, telemetry,
-// fault-sweep, all.
+// fault-sweep, scale-sweep, all.
 //
 // Observability: -metrics-out writes the merged telemetry snapshot of the
 // experiments that collect one (currently "telemetry") as JSON, -trace-out
@@ -20,6 +20,11 @@
 // (/metrics, /statusz, /trace/tail — see internal/obs) while the sweep
 // runs; -ops-linger keeps it up after the last experiment so a final
 // scrape can be taken.
+//
+// Scale-out: -platform gives the comma-separated platform specs the
+// scale-sweep experiment grows across (default "8c1g,16c2g,64c8g"; see
+// platform.Parse for the spec grammar). The paper experiments always run
+// on the paper's 5c1g platform.
 package main
 
 import (
@@ -40,6 +45,7 @@ import (
 
 	"predrm/internal/experiments"
 	"predrm/internal/obs"
+	"predrm/internal/platform"
 	"predrm/internal/telemetry"
 	"predrm/internal/trace"
 )
@@ -61,6 +67,7 @@ func main() {
 		memProfile = flag.String("memprofile", "", "write a heap profile taken after the run to this file")
 		opsAddr    = flag.String("ops-addr", "", "serve the live introspection plane (metrics, statusz, trace tail, pprof) on this address while the sweep runs")
 		opsLinger  = flag.Duration("ops-linger", 0, "keep the -ops-addr server up this long after the last experiment")
+		platSpecs  = flag.String("platform", "8c1g,16c2g,64c8g", "comma-separated platform specs the scale-sweep experiment grows across (other experiments run the paper's 5c1g platform)")
 	)
 	flag.Parse()
 	validateFlags(*traces, *traceLen, *nodes)
@@ -83,6 +90,21 @@ func main() {
 		fatalf("unknown profile %q", *profile)
 	}
 
+	var scaleSpecs []string
+	for _, s := range strings.Split(*platSpecs, ",") {
+		s = strings.TrimSpace(s)
+		if s == "" {
+			continue
+		}
+		if _, err := platform.Parse(s); err != nil {
+			fatalf("-platform: %v", err)
+		}
+		scaleSpecs = append(scaleSpecs, s)
+	}
+	if len(scaleSpecs) == 0 {
+		fatalf("-platform %q: no specs", *platSpecs)
+	}
+
 	ids := strings.Split(*exp, ",")
 	if *exp == "all" {
 		// impact-lt/impact-vt print Fig 2 and Fig 3 from a single run.
@@ -92,7 +114,7 @@ func main() {
 			"fig4a", "fig4b", "fig5",
 			"ablation-regret", "ablation-migration", "online-predictors",
 			"lookahead", "baseline-static", "load-surface", "telemetry",
-			"fault-sweep",
+			"fault-sweep", "scale-sweep",
 		}
 	}
 	var traceFile *os.File
@@ -139,7 +161,7 @@ func main() {
 	var snaps []*telemetry.Snapshot
 	for _, id := range ids {
 		id = strings.TrimSpace(id)
-		tables, snap, err := run(id, cfg)
+		tables, snap, err := run(id, cfg, scaleSpecs)
 		if err != nil {
 			fatalf("%s: %v", id, err)
 		}
@@ -254,7 +276,7 @@ func printReasonLine(label string, counters map[string]int64, prefix string) {
 
 // run executes one experiment and returns its tables plus, for
 // telemetry-collecting experiments, the merged metrics snapshot.
-func run(id string, cfg experiments.Config) ([]*experiments.Table, *telemetry.Snapshot, error) {
+func run(id string, cfg experiments.Config, scaleSpecs []string) ([]*experiments.Table, *telemetry.Snapshot, error) {
 	sweep := []float64{0.25, 0.5, 0.75, 1.0}
 	switch id {
 	case "motivational":
@@ -349,6 +371,12 @@ func run(id string, cfg experiments.Config) ([]*experiments.Table, *telemetry.Sn
 		return []*experiments.Table{r.Table}, r.Merged, nil
 	case "load-surface":
 		r, err := experiments.LoadSurface(cfg, []float64{1.2, 1.7, 2.2, 3.0, 4.5})
+		if err != nil {
+			return nil, nil, err
+		}
+		return []*experiments.Table{r.Table}, nil, nil
+	case "scale-sweep":
+		r, err := experiments.ScaleSweep(cfg, scaleSpecs)
 		if err != nil {
 			return nil, nil, err
 		}

@@ -57,6 +57,8 @@ func main() {
 	var (
 		addr      = flag.String("addr", ":8080", "address to serve the RM API and introspection plane on (:0 picks a free port)")
 		setPath   = flag.String("taskset", "", "task-set JSON file written by tracegen (empty: generate from -seed)")
+		platSpec  = flag.String("platform", "", "platform spec like 5c1g or 64c8g (empty: the paper's 5c1g default; invalid with -taskset, which carries its platform)")
+		shards    = flag.Int("shards", 1, "partition the platform into this many shards, each admitting against only its own resources (scale-out mode)")
 		engName   = flag.String("engine", "heuristic", "mapping engine: heuristic, greedy, or milp")
 		exactWork = flag.Int("exact-workers", 0, "search goroutines for -engine milp (0 or 1: serial; results are identical either way)")
 		warmStart = flag.Bool("warmstart", true, "reuse the previous activation's work across live activations (milp: repair-based pruning bound; heuristic: EDF probe cache); decisions are identical either way")
@@ -81,20 +83,44 @@ func main() {
 	if *engName != "milp" && flagWasSet("exact-workers") {
 		fatalf("-exact-workers has no effect with -engine %s", *engName)
 	}
+	if *shards < 1 {
+		fatalf("-shards %d must be at least 1", *shards)
+	}
+	if *shards > 1 {
+		// Multi-shard engines reject globally-stateful features (see
+		// engine.NewSharded); /trace/tail and /explainz go dark, the rest
+		// of the plane (metrics, statusz, SLO burn) stays live.
+		if *traceOut != "" {
+			fatalf("-trace-out is not supported with -shards > 1 (per-shard event streams would interleave)")
+		}
+		if *provOn {
+			fatalf("-provenance is not supported with -shards > 1")
+		}
+	}
 
 	var (
 		set *task.Set
 		err error
 	)
 	if *setPath != "" {
+		if *platSpec != "" {
+			fatalf("-platform has no effect with -taskset (the task set carries its platform)")
+		}
 		set, err = task.ReadFile(*setPath)
 		if err != nil {
 			fatalf("load task set: %v", err)
 		}
 	} else {
+		plat := platform.Default()
+		if *platSpec != "" {
+			plat, err = platform.Parse(*platSpec)
+			if err != nil {
+				fatalf("platform: %v", err)
+			}
+		}
 		tcfg := task.DefaultGenConfig()
 		tcfg.NumTypes = *types
-		set, err = task.Generate(platform.Default(), tcfg, rng.New(*seed).Split())
+		set, err = task.Generate(plat, tcfg, rng.New(*seed).Split())
 		if err != nil {
 			fatalf("task set: %v", err)
 		}
@@ -106,46 +132,74 @@ func main() {
 		WorkConserving: *workCons,
 		Metrics:        telemetry.NewRegistry(),
 	}
-	var warmCache *sched.FeasCache
-	if *warmStart && *engName != "milp" {
-		warmCache = sched.NewFeasCache(0)
+	// newSolver builds one solver instance; shards cannot share solver
+	// state, so the sharded engine calls it once per shard (each with its
+	// own warm cache and, under -solver-budget, its own fallback chain).
+	newSolver := func() core.Solver {
+		var warmCache *sched.FeasCache
+		if *warmStart && *engName != "milp" {
+			warmCache = sched.NewFeasCache(0)
+		}
+		var s core.Solver
+		switch *engName {
+		case "heuristic":
+			s = &core.Heuristic{Cache: warmCache}
+		case "greedy":
+			s = &core.Heuristic{Greedy: true, Cache: warmCache}
+		case "milp":
+			s = &exact.Optimal{Workers: *exactWork, WarmStart: *warmStart}
+		default:
+			fatalf("unknown engine %q", *engName)
+		}
+		if *shards > 1 && *solverBudget != "" {
+			budget, err := parseBudget(*solverBudget)
+			if err != nil {
+				fatalf("solver-budget: %v", err)
+			}
+			s = &core.BudgetedSolver{
+				Stages: []core.Stage{
+					{Name: *engName, Solver: s},
+					{Name: "heuristic", Solver: &core.Heuristic{}},
+				},
+				Budget: budget,
+			}
+		}
+		return s
 	}
-	switch *engName {
-	case "heuristic":
-		cfg.Solver = &core.Heuristic{Cache: warmCache}
-	case "greedy":
-		cfg.Solver = &core.Heuristic{Greedy: true, Cache: warmCache}
-	case "milp":
-		cfg.Solver = &exact.Optimal{Workers: *exactWork, WarmStart: *warmStart}
-	default:
-		fatalf("unknown engine %q", *engName)
+	if *shards == 1 {
+		cfg.Solver = newSolver()
 	}
 
-	var traceFile *os.File
-	topts := telemetry.TracerOptions{}
-	if *traceOut != "" {
-		traceFile, err = os.Create(*traceOut)
-		if err != nil {
-			fatalf("trace-out: %v", err)
+	var (
+		traceFile *os.File
+		tracer    *telemetry.Tracer
+	)
+	if *shards == 1 {
+		topts := telemetry.TracerOptions{}
+		if *traceOut != "" {
+			traceFile, err = os.Create(*traceOut)
+			if err != nil {
+				fatalf("trace-out: %v", err)
+			}
+			topts.Sink = traceFile
 		}
-		topts.Sink = traceFile
-	}
-	tracer := telemetry.NewTracer(topts)
-	cfg.Tracer = tracer
-	cfg.Provenance = *provOn
+		tracer = telemetry.NewTracer(topts)
+		cfg.Tracer = tracer
+		cfg.Provenance = *provOn
 
-	if *solverBudget != "" {
-		budget, err := parseBudget(*solverBudget)
-		if err != nil {
-			fatalf("solver-budget: %v", err)
-		}
-		cfg.Solver = &core.BudgetedSolver{
-			Stages: []core.Stage{
-				{Name: *engName, Solver: cfg.Solver},
-				{Name: "heuristic", Solver: &core.Heuristic{}},
-			},
-			Budget: budget,
-			Tracer: tracer,
+		if *solverBudget != "" {
+			budget, err := parseBudget(*solverBudget)
+			if err != nil {
+				fatalf("solver-budget: %v", err)
+			}
+			cfg.Solver = &core.BudgetedSolver{
+				Stages: []core.Stage{
+					{Name: *engName, Solver: cfg.Solver},
+					{Name: "heuristic", Solver: &core.Heuristic{}},
+				},
+				Budget: budget,
+				Tracer: tracer,
+			}
 		}
 	}
 
@@ -155,6 +209,7 @@ func main() {
 	})
 	srv, err := serve.New(serve.Config{
 		Engine: cfg,
+		Shard:  engine.ShardConfig{Shards: *shards, NewSolver: newSolver},
 		Clock:  serve.NewWallClock(*speed),
 		Plane:  plane,
 	})
@@ -164,7 +219,8 @@ func main() {
 	if err := srv.Listen(*addr); err != nil {
 		fatalf("%v", err)
 	}
-	fmt.Fprintf(os.Stderr, "rmserve: serving on %s (engine %s, speed %gx)\n", srv.URL(), *engName, *speed)
+	fmt.Fprintf(os.Stderr, "rmserve: serving on %s (engine %s, platform %s, %d shard(s), speed %gx)\n",
+		srv.URL(), *engName, set.Platform.Spec(), *shards, *speed)
 	fmt.Fprintf(os.Stderr, "rmserve: POST %s/v1/requests, introspection at %s/statusz\n", srv.URL(), srv.URL())
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
@@ -177,7 +233,7 @@ func main() {
 	shutdownErr := srv.Shutdown(dctx)
 	res := srv.Result()
 
-	if traceFile != nil {
+	if traceFile != nil && tracer != nil {
 		if err := tracer.Flush(); err != nil {
 			fatalf("trace-out: %v", err)
 		}
@@ -190,6 +246,10 @@ func main() {
 	}
 
 	fmt.Printf("engine:           %s (speed %gx)\n", *engName, *speed)
+	fmt.Printf("platform:         %s\n", set.Platform.Spec())
+	if *shards > 1 {
+		fmt.Printf("scale-out:        %d shards\n", *shards)
+	}
 	fmt.Printf("requests:         %d\n", res.Requests)
 	fmt.Printf("accepted:         %d\n", res.Accepted)
 	fmt.Printf("rejected:         %d (%.2f%%)\n", res.Rejected, res.RejectionPct())

@@ -62,6 +62,10 @@ func main() {
 		engine    = flag.String("engine", "heuristic", "mapping engine: heuristic, greedy, or milp")
 		exactWork = flag.Int("exact-workers", 0, "search goroutines for -engine milp (0 or 1: serial; results are identical either way)")
 		warmStart = flag.Bool("warmstart", true, "reuse the previous activation's work: the milp engine repairs its last mapping into a pruning bound, the heuristic engines cache EDF probe verdicts across activations; decisions are identical either way")
+		platSpec  = flag.String("platform", "", "platform spec like 5c1g or 64c8g (empty: the paper's 5c1g default; invalid with -taskset, which carries its platform)")
+		shards    = flag.Int("shards", 1, "partition the platform into this many shards, each admitting against only its own resources (scale-out mode)")
+		batchWin  = flag.Float64("batch-window", 0, "collect arrivals for this many time units and admit each window as one batch epoch (0: the paper's one-by-one protocol)")
+		shardWork = flag.Int("shard-workers", 0, "concurrent shard solves per batch epoch (0: min(shards, GOMAXPROCS))")
 		usePred   = flag.Bool("predict", false, "enable the oracle predictor")
 		accuracy  = flag.Float64("accuracy", 1.0, "oracle task-type accuracy in [0,1]")
 		timeErr   = flag.Float64("time-error", 0, "oracle arrival-time normalized RMSE")
@@ -97,6 +101,33 @@ func main() {
 	if *opsAddr == "" && flagWasSet("ops-linger") {
 		fatalf("-ops-linger has no effect without -ops-addr")
 	}
+	if *shards < 1 {
+		fatalf("-shards %d must be at least 1", *shards)
+	}
+	if *batchWin < 0 {
+		fatalf("-batch-window %g must be non-negative", *batchWin)
+	}
+	if *shards == 1 && flagWasSet("shard-workers") {
+		fatalf("-shard-workers has no effect without -shards > 1")
+	}
+	if *shards > 1 {
+		// Multi-shard engines reject globally-stateful features (see
+		// engine.NewSharded); fail on the flag rather than deep in setup.
+		for _, bad := range []struct {
+			set  bool
+			name string
+		}{
+			{*usePred, "predict"},
+			{*provOn, "provenance"},
+			{*traceOut != "", "trace-out"},
+			{*opsAddr != "", "ops-addr"},
+			{*faultPlan != "", "fault-plan"},
+		} {
+			if bad.set {
+				fatalf("-%s is not supported with -shards > 1 (its state is global; see DESIGN.md §12)", bad.name)
+			}
+		}
+	}
 
 	root := rng.New(*seed)
 	var (
@@ -105,6 +136,9 @@ func main() {
 		err  error
 	)
 	if *setPath != "" {
+		if *platSpec != "" {
+			fatalf("-platform has no effect with -taskset (the task set carries its platform)")
+		}
 		set, err = task.ReadFile(*setPath)
 		if err != nil {
 			fatalf("load task set: %v", err)
@@ -113,6 +147,12 @@ func main() {
 		root.Split() // keep the trace stream aligned with the generate path
 	} else {
 		plat = platform.Default()
+		if *platSpec != "" {
+			plat, err = platform.Parse(*platSpec)
+			if err != nil {
+				fatalf("platform: %v", err)
+			}
+		}
 		tcfg := task.DefaultGenConfig()
 		tcfg.NumTypes = *types
 		set, err = task.Generate(plat, tcfg, root.Split())
@@ -150,19 +190,42 @@ func main() {
 		WorkConserving:  *workCons,
 		RecordExecution: *showGantt > 0,
 	}
-	var warmCache *sched.FeasCache
-	if *warmStart && *engine != "milp" {
-		warmCache = sched.NewFeasCache(0)
+	// newSolver builds one solver instance; shards cannot share solver
+	// state, so the sharded runner calls it once per shard (each with its
+	// own warm cache and, under -solver-budget, its own fallback chain).
+	newSolver := func() core.Solver {
+		var warmCache *sched.FeasCache
+		if *warmStart && *engine != "milp" {
+			warmCache = sched.NewFeasCache(0)
+		}
+		var s core.Solver
+		switch *engine {
+		case "heuristic":
+			s = &core.Heuristic{Cache: warmCache}
+		case "greedy":
+			s = &core.Heuristic{Greedy: true, Cache: warmCache}
+		case "milp":
+			s = &exact.Optimal{Workers: *exactWork, WarmStart: *warmStart}
+		default:
+			fatalf("unknown engine %q", *engine)
+		}
+		if *shards > 1 && *solverBudget != "" {
+			budget, err := parseBudget(*solverBudget)
+			if err != nil {
+				fatalf("solver-budget: %v", err)
+			}
+			s = &core.BudgetedSolver{
+				Stages: []core.Stage{
+					{Name: *engine, Solver: s},
+					{Name: "heuristic", Solver: &core.Heuristic{}},
+				},
+				Budget: budget,
+			}
+		}
+		return s
 	}
-	switch *engine {
-	case "heuristic":
-		cfg.Solver = &core.Heuristic{Cache: warmCache}
-	case "greedy":
-		cfg.Solver = &core.Heuristic{Greedy: true, Cache: warmCache}
-	case "milp":
-		cfg.Solver = &exact.Optimal{Workers: *exactWork, WarmStart: *warmStart}
-	default:
-		fatalf("unknown engine %q", *engine)
+	if *shards == 1 {
+		cfg.Solver = newSolver()
 	}
 	if *usePred {
 		o, err := predict.NewOracle(tr, predict.OracleConfig{
@@ -209,7 +272,9 @@ func main() {
 		// renders the same registry on /metrics.
 		cfg.Metrics = telemetry.NewRegistry()
 	}
-	if resilient {
+	if resilient && *shards == 1 {
+		// With -shards > 1 the per-shard factory above owns the budget
+		// wiring (and -fault-plan was rejected at flag validation).
 		budget, err := parseBudget(*solverBudget)
 		if err != nil {
 			fatalf("solver-budget: %v", err)
@@ -262,7 +327,17 @@ func main() {
 		}
 	}
 
-	res, err := sim.Run(cfg, tr)
+	var res *sim.Result
+	if *shards > 1 || *batchWin > 0 {
+		res, err = sim.RunSharded(cfg, sim.ShardConfig{
+			Shards:      *shards,
+			BatchWindow: *batchWin,
+			Workers:     *shardWork,
+			NewSolver:   newSolver,
+		}, tr)
+	} else {
+		res, err = sim.Run(cfg, tr)
+	}
 	if *cpuProfile != "" {
 		pprof.StopCPUProfile()
 	}
@@ -316,6 +391,10 @@ func main() {
 		}
 	}
 	fmt.Printf("engine:           %s (prediction %v)\n", *engine, *usePred)
+	fmt.Printf("platform:         %s\n", plat.Spec())
+	if *shards > 1 || *batchWin > 0 {
+		fmt.Printf("scale-out:        %d shard(s), batch window %g\n", *shards, *batchWin)
+	}
 	fmt.Printf("requests:         %d\n", res.Requests)
 	fmt.Printf("accepted:         %d\n", res.Accepted)
 	fmt.Printf("rejected:         %d (%.2f%%)\n", res.Rejected, res.RejectionPct())

@@ -6,6 +6,7 @@
 // Usage:
 //
 //	tracegen -out traces/ -count 10 -len 500 -group VT -seed 1
+//	tracegen -out testdata/scale -count 1 -platform 64c8g -rate 2 -len 2000 -seed 42
 //	tracegen -fire http://localhost:8080 -len 200 -seed 1 -fire-speed 50
 //	tracegen -fire http://localhost:8080 -replay traces/trace-VT-000.json
 //
@@ -32,16 +33,16 @@ import (
 
 func main() {
 	var (
-		out    = flag.String("out", ".", "output directory")
-		count  = flag.Int("count", 10, "number of traces")
-		length = flag.Int("len", 500, "requests per trace")
-		group  = flag.String("group", "VT", "deadline group: VT or LT")
-		seed   = flag.Uint64("seed", 1, "generator seed")
-		meanIA = flag.Float64("interarrival", 1.2, "mean interarrival time")
-		stdIA  = flag.Float64("interarrival-std", 0.4, "interarrival std deviation")
-		types  = flag.Int("types", 100, "task types in the generated set")
-		cpus   = flag.Int("cpus", 5, "platform CPUs")
-		gpus   = flag.Int("gpus", 1, "platform GPUs")
+		out      = flag.String("out", ".", "output directory")
+		count    = flag.Int("count", 10, "number of traces")
+		length   = flag.Int("len", 500, "requests per trace")
+		group    = flag.String("group", "VT", "deadline group: VT or LT")
+		seed     = flag.Uint64("seed", 1, "generator seed")
+		meanIA   = flag.Float64("interarrival", 1.2, "mean interarrival time")
+		stdIA    = flag.Float64("interarrival-std", 0.4, "interarrival std deviation")
+		rate     = flag.Float64("rate", 0, "arrival rate in requests per time unit; a scale-friendly alternative to -interarrival (sets mean 1/rate, std 1/(3*rate))")
+		types    = flag.Int("types", 0, "task types in the generated set (0: sized to the platform, max(100, 2 per resource))")
+		platSpec = flag.String("platform", "5c1g", "platform spec like 5c1g or 112c16g (pool counts per kind)")
 
 		fireURL   = flag.String("fire", "", "replay the workload live against this rmserve base URL instead of writing files")
 		replay    = flag.String("replay", "", "trace JSON file to fire (requires -fire; empty: generate one trace in memory)")
@@ -63,7 +64,29 @@ func main() {
 		fire(*fireURL, tr, *fireSpeed, *verbose)
 		return
 	}
-	validateFlags(*count, *length, *types, *meanIA, *stdIA, *cpus, *gpus)
+	if *rate != 0 {
+		if flagWasSet("interarrival") || flagWasSet("interarrival-std") {
+			fatalf("-rate and -interarrival/-interarrival-std are two spellings of the same knob; give one")
+		}
+		if *rate < 0 {
+			fatalf("-rate %g must be positive", *rate)
+		}
+		*meanIA = 1 / *rate
+		*stdIA = *meanIA / 3
+	}
+	plat, err := platform.Parse(*platSpec)
+	if err != nil {
+		fatalf("platform: %v", err)
+	}
+	if *types == 0 {
+		// Size the type mix to the platform: a 512-resource machine needs a
+		// wider mix than the paper's 100 types to load every pool.
+		*types = 2 * plat.Len()
+		if *types < 100 {
+			*types = 100
+		}
+	}
+	validateFlags(*count, *length, *types, *meanIA, *stdIA)
 
 	var tight trace.Tightness
 	switch *group {
@@ -76,7 +99,6 @@ func main() {
 	}
 
 	root := rng.New(*seed)
-	plat := platform.New(*cpus, *gpus)
 	tcfg := task.DefaultGenConfig()
 	tcfg.NumTypes = *types
 	set, err := task.Generate(plat, tcfg, root.Split())
@@ -121,7 +143,7 @@ func main() {
 
 // validateFlags rejects out-of-range generator parameters up front with
 // actionable messages instead of failing inside the generators.
-func validateFlags(count, length, types int, meanIA, stdIA float64, cpus, gpus int) {
+func validateFlags(count, length, types int, meanIA, stdIA float64) {
 	switch {
 	case count <= 0:
 		fatalf("-count %d must be positive", count)
@@ -133,8 +155,6 @@ func validateFlags(count, length, types int, meanIA, stdIA float64, cpus, gpus i
 		fatalf("-interarrival %g must be positive", meanIA)
 	case stdIA < 0:
 		fatalf("-interarrival-std %g must be non-negative", stdIA)
-	case cpus < 0 || gpus < 0 || cpus+gpus == 0:
-		fatalf("-cpus %d -gpus %d: need at least one resource", cpus, gpus)
 	}
 }
 

@@ -105,6 +105,14 @@ type Heuristic struct {
 	// probe statistics per solve (flushed into Cache and the instruments).
 	delta                sched.MappingDelta
 	hitsDelta, missDelta int64
+
+	// Indexed candidate-scan state (indexed.go): the per-type candidate
+	// orders, the per-job best/second summaries and the shared candidate
+	// iterator. noIndex pins the plain path for differential tests.
+	ord     map[*task.Type][]int32
+	cand    []candSummary
+	it      candIter
+	noIndex bool
 }
 
 var _ Solver = (*Heuristic)(nil)
@@ -148,8 +156,9 @@ func (h *Heuristic) flushCacheStats() {
 // max-regret placement.
 func (h *Heuristic) AttachProvenance(rec *telemetry.ProvRecorder) { h.prov = rec }
 
-// grow sizes the arena for m jobs on n resources, reusing prior capacity.
-func (h *Heuristic) grow(m, n int) {
+// growCommon sizes the arena pieces shared by the plain and indexed
+// paths: job-indexed scratch, per-resource capacities and entry lists.
+func (h *Heuristic) growCommon(m, n int) {
 	if cap(h.mapping) < m {
 		h.mapping = make([]int, m)
 		h.feasCount = make([]int, m)
@@ -164,6 +173,13 @@ func (h *Heuristic) grow(m, n int) {
 	if len(h.lists) < n {
 		h.lists = append(h.lists, make([]sched.EntryList, n-len(h.lists))...)
 	}
+}
+
+// grow sizes the arena for m jobs on n resources, reusing prior capacity.
+// The m×n matrices are the plain path's; the indexed path (indexed.go)
+// deliberately never materialises them.
+func (h *Heuristic) grow(m, n int) {
+	h.growCommon(m, n)
 	if cap(h.cpm) < m*n {
 		h.cpm = make([]float64, m*n)
 		h.des = make([]float64, m*n)
@@ -171,11 +187,16 @@ func (h *Heuristic) grow(m, n int) {
 	}
 }
 
-// Solve runs Algorithm 1 on p.
+// Solve runs Algorithm 1 on p. On large platforms the candidate scan
+// runs through the per-type resource index (indexed.go) instead of the
+// materialised m×n matrices; the decision is identical either way.
 func (h *Heuristic) Solve(p *sched.Problem) Decision {
 	h.solves.Inc()
 	h.problemJobs.Observe(float64(len(p.Jobs)))
 	h.Cache.Advance()
+	if p.Platform.Len() >= indexedMinResources && !h.prov.Enabled() && !h.noIndex {
+		return h.solveIndexed(p)
+	}
 	jobs := p.Jobs
 	m, n := len(jobs), p.Platform.Len()
 	h.p, h.n = p, n
@@ -358,11 +379,18 @@ func (h *Heuristic) assign(jobIdx, r int) {
 // insertEntry places job jobIdx's feasibility entry for resource r into
 // the resource's sorted list and returns its position.
 func (h *Heuristic) insertEntry(jobIdx, r int) int {
+	return h.insertEntryC(jobIdx, r, h.cpm[jobIdx*h.n+r])
+}
+
+// insertEntryC is insertEntry with the cpm value supplied by the caller
+// — the indexed path computes cpm on demand instead of reading the
+// matrix.
+func (h *Heuristic) insertEntryC(jobIdx, r int, c float64) int {
 	j := h.p.Jobs[jobIdx]
 	return h.lists[r].Insert(h.p.Time, sched.Entry{
 		ReadyAt:     math.Max(j.Arrival, h.p.Time),
 		Deadline:    j.AbsDeadline,
-		Rem:         h.cpm[jobIdx*h.n+r],
+		Rem:         c,
 		PinnedFirst: j.Pinned(h.p.Platform) && j.Resource == r,
 	})
 }

@@ -1,0 +1,397 @@
+// Indexed candidate scan: Algorithm 1 without the m×n matrices.
+//
+// The plain Solve materialises cpm/desirability for every (job,
+// resource) pair — O(jobs × resources) per activation, fine for the
+// paper's 6-resource platform but quadratic waste on a 512-resource one
+// where each job only ever touches its one or two most desirable
+// candidates. This file keeps the algorithm bit-identical while making
+// the scan sublinear in platform size:
+//
+//   - per task type, a candidate index: the executable resources sorted
+//     by (energy, id). Desirability is a positive scaling of energy plus
+//     a per-job constant (migration surcharge) and the bigM deadline
+//     penalty, so walking the index yields candidates in exactly the
+//     (desirability, resource) order the plain path's arg-min scans
+//     produce — the kind-bucketed resource index of the scale-out
+//     design (DESIGN.md §12).
+//   - per job, only the best/second candidate summary is cached (the
+//     regret inputs), recomputed only when a booking evicts the job's
+//     best or second resource — the same incremental discipline as the
+//     plain path's invalidateColumn, minus the matrix.
+//
+// Equivalence argument. The plain path consumes the matrices through
+// exactly two queries: "the two smallest desirabilities over the
+// feasible set, scanning resources in ascending id with strict <" (the
+// regret inputs) and "feasible-set members in ascending (desirability,
+// id) order" (the placement loop). Both are order queries over the same
+// multiset of (des, r) pairs, so producing candidates in ascending
+// (des, r) order reproduces them verbatim. Within one solve a job's
+// desirability is energy[r]·Frac + constant (+bigM), monotone in
+// energy[r] over each of the three candidate streams — non-penalised,
+// penalised (+bigM), and the job's current resource (no migration
+// surcharge) — so each stream is already sorted by the index order and
+// a 3-way merge yields the global order. Equal desirabilities across
+// different energies (a rounding collision) are handled by buffering
+// each equal-desirability run and emitting it in ascending resource id,
+// which is the plain scan's tie-break. TestIndexedHeuristicMatchesPlain
+// pins the equivalence over randomized problems; the shardcheck gate
+// runs it on every `make check`.
+package core
+
+import (
+	"math"
+	"sort"
+
+	"predrm/internal/sched"
+	"predrm/internal/task"
+)
+
+// indexedMinResources gates the indexed path: below it the matrices are
+// small enough that the plain path's tight loops win (and the committed
+// golden traces and benchmarks of the 6-resource platform stay on the
+// code path they were recorded against).
+const indexedMinResources = 32
+
+// candSummary caches one job's regret inputs: the best and second-best
+// (desirability, resource) over its current feasible set.
+type candSummary struct {
+	bestR, secondR     int32 // -1 when absent
+	bestDes, secondDes float64
+	empty              bool // feasible set is empty (line 22: no solution)
+}
+
+// runCand is one buffered candidate of an equal-desirability run.
+type runCand struct {
+	r        int32
+	des, cpm float64
+}
+
+// candStream walks one desirability-sorted slice of a job's candidates:
+// the non-penalised members (pen false) or the bigM-penalised ones (pen
+// true). Equal-desirability runs are buffered and sorted by resource id
+// so ties break exactly as the plain path's ascending-id scans do.
+type candStream struct {
+	pen bool
+	i   int       // cursor into the type's candidate order
+	run []runCand // current equal-des run, ascending resource id
+	ri  int       // next unconsumed run element
+}
+
+// candIter merges a job's three candidate streams — non-penalised,
+// penalised, and the current-resource singleton (which carries no
+// migration surcharge and therefore sorts independently) — into one
+// ascending (desirability, resource) sequence. One iterator lives on
+// the Heuristic and is re-initialised per walk; its run buffers are
+// part of the scratch arena.
+type candIter struct {
+	j      *sched.Job
+	tl     float64
+	ord    []int32
+	a, b   candStream // non-penalised / penalised walks over ord
+	curR   int        // current-resource candidate; -1 absent or consumed
+	curDes float64
+	curCpm float64
+}
+
+// typeOrder returns t's candidate index: executable resources sorted by
+// (energy, id). Orders are immutable and cached per *task.Type — task
+// types are immutable and live as long as their Set, so the cache is
+// bounded by the type universe of the workload.
+func (h *Heuristic) typeOrder(t *task.Type) []int32 {
+	if h.ord == nil {
+		h.ord = make(map[*task.Type][]int32)
+	}
+	if o, ok := h.ord[t]; ok {
+		return o
+	}
+	o := make([]int32, 0, len(t.Energy))
+	for r := range t.Energy {
+		if t.ExecutableOn(r) {
+			o = append(o, int32(r))
+		}
+	}
+	sort.Slice(o, func(a, b int) bool {
+		ea, eb := t.Energy[o[a]], t.Energy[o[b]]
+		if ea != eb {
+			return ea < eb
+		}
+		return o[a] < o[b]
+	})
+	h.ord[t] = o
+	return o
+}
+
+// growIndexed sizes the indexed path's arena: the common pieces plus
+// the per-job candidate summaries. No m×n allocation happens here.
+func (h *Heuristic) growIndexed(m, n int) {
+	h.growCommon(m, n)
+	if cap(h.cand) < m {
+		h.cand = make([]candSummary, m)
+	}
+}
+
+// itInit points the shared iterator at job ji's candidates. Streams are
+// filled lazily by itNext, so a walk the caller abandons after one or
+// two candidates (rewalk) never scans past what it consumed.
+func (h *Heuristic) itInit(ji int) {
+	j := h.p.Jobs[ji]
+	it := &h.it
+	it.j = j
+	it.tl = j.TimeLeft(h.p.Time)
+	it.ord = h.typeOrder(j.Type)
+	it.a.pen, it.a.i, it.a.ri = false, 0, 0
+	it.a.run = it.a.run[:0]
+	it.b.pen, it.b.i, it.b.ri = true, 0, 0
+	it.b.run = it.b.run[:0]
+	it.curR = -1
+	if r := j.Resource; r != sched.Unmapped && j.Type.ExecutableOn(r) {
+		c := j.CPM(r, h.p.Policy) // staying put: no migration surcharge
+		if c <= h.capacity[r]+sched.Eps {
+			des := j.EPM(r, h.p.Policy)
+			if c > it.tl+sched.Eps {
+				des += bigM
+			}
+			it.curR, it.curDes, it.curCpm = r, des, c
+		}
+	}
+}
+
+// itAdvance refills stream s with its next equal-desirability run of
+// feasible-set members. Desirability is non-decreasing along the type
+// order within one stream, so the run ends at the first member whose
+// desirability strictly exceeds the run's; the cursor parks there for
+// the next refill. The run is kept in ascending resource id.
+func (h *Heuristic) itAdvance(s *candStream) {
+	it := &h.it
+	s.run = s.run[:0]
+	s.ri = 0
+	j, pol := it.j, h.p.Policy
+	skip := j.Resource
+	var runDes float64
+	for ; s.i < len(it.ord); s.i++ {
+		r := int(it.ord[s.i])
+		if r == skip {
+			continue // merged separately as the singleton stream
+		}
+		c := j.CPM(r, pol) // executable by construction of ord
+		if c > h.capacity[r]+sched.Eps {
+			continue // not in the feasible set (line 10)
+		}
+		pen := c > it.tl+sched.Eps
+		if pen != s.pen {
+			continue // belongs to the other stream
+		}
+		des := j.EPM(r, pol)
+		if pen {
+			des += bigM
+		}
+		if len(s.run) == 0 {
+			runDes = des
+		} else if des != runDes {
+			break // next run starts here
+		}
+		// Insertion keeps the run ascending in r (runs are nearly always
+		// singletons; a multi-element run is an exact float collision).
+		k := len(s.run)
+		s.run = append(s.run, runCand{r: int32(r), des: des, cpm: c})
+		for k > 0 && s.run[k-1].r > s.run[k].r {
+			s.run[k-1], s.run[k] = s.run[k], s.run[k-1]
+			k--
+		}
+	}
+}
+
+// itNext yields the next candidate in ascending (desirability, resource)
+// order: resource, desirability, cpm. ok is false when the feasible set
+// is exhausted.
+//
+// The penalised stream is not even scanned until every non-penalised
+// candidate has been consumed: a penalised desirability carries +bigM
+// and a non-penalised one is a plain EPM in [0, bigM), so all of stream
+// a (and a non-penalised current-resource candidate) sort strictly
+// before all of stream b. This is the same dominance bigM's value is
+// chosen for, and it is what keeps the common-case walk — rewalk's two
+// candidates, nothing near its deadline — from paying an O(platform)
+// scan for penalised members that do not exist.
+func (h *Heuristic) itNext() (int, float64, float64, bool) {
+	it := &h.it
+	if it.a.ri == len(it.a.run) && it.a.i < len(it.ord) {
+		h.itAdvance(&it.a)
+	}
+	aOK := it.a.ri < len(it.a.run)
+	if !aOK && !(it.curR >= 0 && it.curDes < bigM) &&
+		it.b.ri == len(it.b.run) && it.b.i < len(it.ord) {
+		h.itAdvance(&it.b)
+	}
+	const (
+		srcNone = iota
+		srcA
+		srcB
+		srcCur
+	)
+	src := srcNone
+	var r int32
+	var des, c float64
+	if aOK {
+		head := &it.a.run[it.a.ri]
+		src, r, des, c = srcA, head.r, head.des, head.cpm
+	}
+	if it.b.ri < len(it.b.run) {
+		head := &it.b.run[it.b.ri]
+		if src == srcNone || head.des < des || (head.des == des && head.r < r) {
+			src, r, des, c = srcB, head.r, head.des, head.cpm
+		}
+	}
+	if it.curR >= 0 {
+		if src == srcNone || it.curDes < des || (it.curDes == des && int32(it.curR) < r) {
+			src, r, des, c = srcCur, int32(it.curR), it.curDes, it.curCpm
+		}
+	}
+	switch src {
+	case srcNone:
+		return 0, 0, 0, false
+	case srcA:
+		it.a.ri++
+	case srcB:
+		it.b.ri++
+	case srcCur:
+		it.curR = -1
+	}
+	return int(r), des, c, true
+}
+
+// rewalk recomputes job ji's candidate summary — the first two
+// candidates of the merged order, i.e. exactly the plain refresh's
+// best/second over the feasible set.
+func (h *Heuristic) rewalk(ji int) {
+	h.itInit(ji)
+	cc := &h.cand[ji]
+	r, des, _, ok := h.itNext()
+	if !ok {
+		*cc = candSummary{bestR: -1, secondR: -1,
+			bestDes: math.Inf(1), secondDes: math.Inf(1), empty: true}
+		return
+	}
+	cc.empty = false
+	cc.bestR, cc.bestDes = int32(r), des
+	if r2, des2, _, ok2 := h.itNext(); ok2 {
+		cc.secondR, cc.secondDes = int32(r2), des2
+	} else {
+		cc.secondR, cc.secondDes = -1, math.Inf(1) // |F_j| == 1 (line 14)
+	}
+}
+
+// solveIndexed is Solve on the candidate index: the same pre-assignment,
+// max-regret selection, placement probing and booking as the plain path,
+// with every matrix read replaced by an index walk. Provenance recording
+// stays on the plain path (Solve gates on it), so no verdict bookkeeping
+// appears here.
+func (h *Heuristic) solveIndexed(p *sched.Problem) Decision {
+	jobs := p.Jobs
+	m, n := len(jobs), p.Platform.Len()
+	h.p, h.n = p, n
+	h.growIndexed(m, n)
+
+	mapping := h.mapping[:m]
+	for i := range mapping {
+		mapping[i] = sched.Unmapped
+	}
+
+	window := p.Window()
+	capacity := h.capacity[:n]
+	for i := range capacity {
+		capacity[i] = window
+		h.lists[i].Reset()
+		if h.Cache != nil {
+			h.lists[i].EnableFingerprint(p.Time)
+		}
+	}
+
+	// Pinned pre-assignment, identical to the plain path but with cpm
+	// computed at the point of use.
+	unassigned := h.unassigned[:0]
+	for idx, j := range jobs {
+		if j.Fixed || j.Pinned(p.Platform) {
+			c := j.CPM(j.Resource, p.Policy)
+			mapping[idx] = j.Resource
+			capacity[j.Resource] -= c
+			h.insertEntryC(idx, j.Resource, c)
+			continue
+		}
+		unassigned = append(unassigned, idx)
+	}
+	h.unassigned = unassigned
+
+	for _, ji := range unassigned {
+		h.rewalk(ji)
+	}
+
+	for len(unassigned) > 0 {
+		pick := -1
+		if h.Greedy {
+			pick = 0
+			if h.cand[unassigned[0]].empty {
+				return h.fail(mapping, unassigned[0])
+			}
+		} else {
+			dStar := math.Inf(-1)
+			for u, ji := range unassigned {
+				cc := &h.cand[ji]
+				if cc.empty {
+					return h.fail(mapping, ji)
+				}
+				if d := cc.secondDes - cc.bestDes; d > dStar {
+					dStar = d
+					pick = u
+				}
+			}
+		}
+		jobIdx := unassigned[pick]
+		unassigned = append(unassigned[:pick], unassigned[pick+1:]...)
+
+		// Placement: walk the candidates in (desirability, id) order with
+		// the same trial-insert EDF probes as the plain loop.
+		placed := false
+		var placedR int
+		var placedCpm float64
+		h.itInit(jobIdx)
+		for {
+			r, _, c, ok := h.itNext()
+			if !ok {
+				break
+			}
+			pos := h.insertEntryC(jobIdx, r, c)
+			if h.lists[r].FeasibleCached(p.Platform.Resource(r).Preemptable(), p.Time,
+				h.Cache, &h.edf, &h.hitsDelta, &h.missDelta) {
+				mapping[jobIdx] = r
+				placed, placedR, placedCpm = true, r, c
+				break
+			}
+			h.lists[r].Remove(p.Time, pos)
+		}
+		if !placed {
+			return h.fail(mapping, jobIdx)
+		}
+
+		// Booking shrank one resource. A job's cached summary changes only
+		// if it just lost membership of that resource AND the resource was
+		// its best or second (otherwise the plain refresh would recompute
+		// identical values) — the matrix-free invalidateColumn.
+		oldCap := capacity[placedR]
+		capacity[placedR] -= placedCpm
+		newCap := capacity[placedR]
+		for _, ji := range unassigned {
+			cji := jobs[ji].CPM(placedR, p.Policy)
+			if cji == task.NotExecutable || cji > oldCap+sched.Eps || cji <= newCap+sched.Eps {
+				continue // was not a member, or still is
+			}
+			if cc := &h.cand[ji]; cc.bestR == int32(placedR) || cc.secondR == int32(placedR) {
+				h.rewalk(ji)
+			}
+		}
+	}
+
+	h.flushCacheStats()
+	out := append([]int(nil), mapping...)
+	return Decision{Mapping: out, Feasible: true, Energy: p.Energy(out)}
+}

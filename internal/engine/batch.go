@@ -1,0 +1,293 @@
+// Batch admission epochs: deciding a window of arrivals together.
+//
+// The paper's protocol is strictly one-by-one — every arrival triggers a
+// full solver activation. At scale that makes solver setup (problem
+// assembly, prediction, replanning) the dominant cost: a burst of k
+// arrivals pays k replans even though only the last plan survives.
+// ActivateEpoch amortises that: the driver collects arrivals over a
+// configurable window, the engine advances through them (they queue,
+// executing nothing — they are not yet admitted), and all decisions are
+// taken sequentially at the epoch close. Earlier epoch admissions are
+// active state for later ones, so the decision sequence is the paper's
+// protocol evaluated at a single deferred decision time; only the final
+// decision's reservation plan is installed, and the standing schedule is
+// rebuilt once per epoch instead of once per arrival (DESIGN.md §12
+// discusses how this differs from the paper's semantics).
+package engine
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"predrm/internal/core"
+	"predrm/internal/predict"
+	"predrm/internal/sched"
+	"predrm/internal/telemetry"
+	"predrm/internal/trace"
+)
+
+// ActivateEpoch admits reqs — arrival-ordered, with dense driver ids
+// startIdx, startIdx+1, ... — as one batch epoch that closes at time
+// close. Decisions are taken sequentially at max(now, close + overhead),
+// where the per-activation overhead (ExtraOverhead, predictor overhead,
+// OverheadHook) is charged once per epoch rather than once per arrival:
+// that is the amortisation batching buys.
+//
+// A single-request epoch closing at its own arrival is exactly one
+// Activate call and is delegated to it, which is what makes a zero
+// batch-window driver byte-identical to the one-by-one protocol.
+//
+// With a predictor, every request is observed in arrival order and one
+// forecast is made at the close; the predicted jobs constrain every
+// decision of the epoch. State probes fire per decision, as in the
+// one-by-one protocol; mid-epoch samples show the pre-epoch reservation
+// picture since the plan is only rebuilt at the close.
+func (r *Engine) ActivateEpoch(startIdx int, reqs []trace.Request, close float64) ([]Outcome, error) {
+	if len(reqs) == 0 {
+		return nil, nil
+	}
+	if len(reqs) == 1 && close <= reqs[0].Arrival+sched.Eps {
+		out, err := r.Activate(startIdx, reqs[0])
+		if err != nil {
+			return nil, err
+		}
+		return []Outcome{out}, nil
+	}
+	for i, req := range reqs {
+		idx := startIdx + i
+		if idx != len(r.rec)+i {
+			return nil, fmt.Errorf("engine: epoch activation id %d out of order (want %d)", idx, len(r.rec)+i)
+		}
+		if r.cfg.TaskSet != nil && (req.Type < 0 || req.Type >= r.cfg.TaskSet.Len()) {
+			return nil, fmt.Errorf("engine: request %d references unknown type %d", idx, req.Type)
+		}
+		if req.Deadline <= 0 {
+			return nil, fmt.Errorf("engine: request %d has non-positive deadline %v", idx, req.Deadline)
+		}
+		if i > 0 && req.Arrival < reqs[i-1].Arrival {
+			return nil, fmt.Errorf("engine: epoch requests out of arrival order at %d", idx)
+		}
+	}
+
+	// Intake: record every arrival, advance execution through it, observe
+	// it for prediction. Nothing is admitted yet.
+	for i, req := range reqs {
+		idx := startIdx + i
+		r.rec = append(r.rec, JobRecord{
+			ID:          idx,
+			Type:        req.Type,
+			Arrival:     req.Arrival,
+			AbsDeadline: req.Arrival + req.Deadline,
+		})
+		r.res.Requests++
+		r.ins.requests.Inc()
+		if err := r.advanceTo(req.Arrival); err != nil {
+			return nil, err
+		}
+		if r.trc != nil {
+			e := telemetry.NewEvent(req.Arrival, telemetry.EvArrival)
+			e.Req = idx
+			e.Task = req.Type
+			e.Value = req.Arrival + req.Deadline
+			r.trc.Emit(e)
+		}
+		if r.cfg.Predictor != nil {
+			r.cfg.Predictor.Observe(idx, req)
+		}
+	}
+
+	// One overhead charge for the whole epoch.
+	overhead := r.cfg.ExtraOverhead
+	if r.cfg.Predictor != nil {
+		overhead += r.cfg.Predictor.Overhead()
+	}
+	if r.cfg.OverheadHook != nil {
+		overhead += r.cfg.OverheadHook(startIdx, reqs[0].Arrival)
+	}
+	decisionTime := math.Max(r.now, close+overhead)
+	if err := r.advanceTo(decisionTime); err != nil {
+		return nil, err
+	}
+	if r.cfg.Audit {
+		if err := r.auditState(startIdx); err != nil {
+			return nil, err
+		}
+	}
+
+	// One forecast at the close, constraining every decision of the epoch.
+	var predJobs []*sched.Job
+	predicting := false
+	if r.cfg.Predictor != nil {
+		var preds []predict.Prediction
+		if mp, ok := r.cfg.Predictor.(predict.MultiPredictor); ok && r.cfg.Lookahead > 1 {
+			preds = mp.PredictK(r.cfg.Lookahead)
+		} else if pred, ok := r.cfg.Predictor.Predict(); ok {
+			preds = []predict.Prediction{pred}
+		}
+		for step, pred := range preds {
+			if pred.Type >= 0 && pred.Type < r.cfg.TaskSet.Len() && pred.Deadline > 0 {
+				pj := sched.NewJob(-1-step, r.cfg.TaskSet.Type(pred.Type), pred.Arrival, pred.Deadline)
+				pj.Predicted = true
+				predJobs = append(predJobs, pj)
+				predicting = true
+				r.ins.predictions.Inc()
+				if r.trc != nil {
+					e := telemetry.NewEvent(r.now, telemetry.EvPrediction)
+					e.Req = startIdx
+					e.Task = pred.Type
+					e.Value = pred.Arrival
+					r.trc.Emit(e)
+				}
+			}
+		}
+	}
+
+	outs := make([]Outcome, 0, len(reqs))
+	var lastGhosts []ghostRef
+	for i, req := range reqs {
+		idx := startIdx + i
+		newJob := sched.NewJob(idx, r.cfg.TaskSet.Type(req.Type), req.Arrival, req.Deadline)
+		jobs := make([]*sched.Job, 0, len(r.active)+1+len(predJobs))
+		jobs = append(jobs, r.active...)
+		newIdx := len(jobs)
+		jobs = append(jobs, newJob)
+		jobs = append(jobs, r.upcomingCritical(jobs)...)
+		jobs = append(jobs, predJobs...)
+
+		problem := &sched.Problem{
+			Platform: r.cfg.Platform,
+			Time:     r.now,
+			Jobs:     jobs,
+			Policy:   r.cfg.Policy,
+		}
+		if r.trc != nil {
+			e := telemetry.NewEvent(r.now, telemetry.EvSolverInvoked)
+			e.Req = idx
+			e.Task = req.Type
+			e.Value = float64(len(jobs))
+			r.trc.Emit(e)
+		}
+		measuring := r.trc != nil || r.ins.solverSec != nil
+		var solveStart time.Time
+		if measuring {
+			solveStart = time.Now()
+		}
+		r.prov.Reset()
+		decision, admitted, solveErr := core.AdmitProv(r.cfg.Solver, problem, r.prov)
+		var wall time.Duration
+		if measuring {
+			wall = time.Since(solveStart)
+			r.ins.solverSec.Observe(wall.Seconds())
+		}
+		if solveErr != nil {
+			if r.trc != nil {
+				e := telemetry.NewEvent(r.now, telemetry.EvSolverReturned)
+				e.Req = idx
+				e.WallNs = wall.Nanoseconds()
+				e.Reason = telemetry.ReasonError
+				r.trc.Emit(e)
+			}
+			return nil, fmt.Errorf("engine: solver failed at request %d (t=%.6f): %w", idx, r.now, solveErr)
+		}
+		if r.trc != nil {
+			e := telemetry.NewEvent(r.now, telemetry.EvSolverReturned)
+			e.Req = idx
+			e.WallNs = wall.Nanoseconds()
+			if admitted {
+				e.Reason = telemetry.ReasonFeasible
+				e.Value = decision.Energy
+			} else {
+				e.Reason = telemetry.ReasonInfeasible
+			}
+			r.trc.Emit(e)
+		}
+		if !admitted {
+			r.res.Rejected++
+			r.ins.rejected.Inc()
+			r.reasonCounter("sim.reject_reason.", telemetry.ReasonNoFeasibleMapping)
+			if r.trc != nil {
+				e := telemetry.NewEvent(r.now, telemetry.EvReject)
+				e.Req = idx
+				e.Task = req.Type
+				e.Reason = telemetry.ReasonNoFeasibleMapping
+				r.trc.Emit(e)
+			}
+			r.emitDecision(idx, req.Type, sched.Unmapped, telemetry.ReasonNoFeasibleMapping, 0)
+			lastGhosts = nil
+			r.probe(idx)
+			outs = append(outs, Outcome{
+				Req:      idx,
+				Time:     r.now,
+				Accepted: false,
+				Resource: sched.Unmapped,
+				Reason:   telemetry.ReasonNoFeasibleMapping,
+			})
+			continue
+		}
+		r.res.Accepted++
+		r.ins.accepted.Inc()
+		r.rec[idx].Accepted = true
+		r.apply(problem, decision, newJob)
+		lastGhosts = lastGhosts[:0]
+		for gi, j := range problem.Jobs {
+			if j.Predicted && decision.Mapping[gi] != sched.Unmapped {
+				lastGhosts = append(lastGhosts, ghostRef{job: j, res: decision.Mapping[gi]})
+			}
+		}
+		admitReason := telemetry.ReasonPlain
+		switch {
+		case len(lastGhosts) > 0:
+			admitReason = telemetry.ReasonWithReservation
+		case predicting:
+			admitReason = telemetry.ReasonPredictionDropped
+		}
+		r.reasonCounter("sim.admit_reason.", admitReason)
+		if r.trc != nil {
+			e := telemetry.NewEvent(r.now, telemetry.EvAdmit)
+			e.Req = idx
+			e.Task = req.Type
+			e.Res = decision.Mapping[newIdx]
+			e.Reason = admitReason
+			r.trc.Emit(e)
+		}
+		r.emitDecision(idx, req.Type, decision.Mapping[newIdx], admitReason, decision.Energy)
+		r.ins.activeJobs.Observe(float64(len(r.active)))
+		r.ins.activePeak.Set(float64(len(r.active)))
+		r.probe(idx)
+		outs = append(outs, Outcome{
+			Req:      idx,
+			Time:     r.now,
+			Accepted: true,
+			Resource: decision.Mapping[newIdx],
+			Reason:   admitReason,
+			Energy:   decision.Energy,
+		})
+	}
+
+	// One replan for the whole epoch, installing only the reservations of
+	// the final decision — earlier ones were planning constraints whose
+	// decisions are already superseded, exactly as in the one-by-one
+	// protocol where each replan replaces the previous reservations.
+	for _, g := range lastGhosts {
+		r.ins.resvPlanned.Inc()
+		if r.cfg.WorkConserving {
+			r.ins.resvBackfilled.Inc()
+		}
+		if r.trc != nil {
+			e := telemetry.NewEvent(r.now, telemetry.EvReservationPlanned)
+			e.Req = startIdx + len(reqs) - 1
+			e.Res = g.res
+			e.Value = g.job.Arrival
+			r.trc.Emit(e)
+			if r.cfg.WorkConserving {
+				e.Type = telemetry.EvReservationBackfilled
+				r.trc.Emit(e)
+			}
+		}
+	}
+	if err := r.replan(lastGhosts); err != nil {
+		return nil, err
+	}
+	return outs, nil
+}

@@ -1,0 +1,43 @@
+package experiments
+
+import "testing"
+
+func TestScaleSweepSmall(t *testing.T) {
+	cfg := smallConfig()
+	r, err := ScaleSweep(cfg, []string{"8c1g", "16c2g"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Two modes per platform spec.
+	if len(r.Points) != 4 {
+		t.Fatalf("want 4 points, got %d", len(r.Points))
+	}
+	if len(r.Table.Rows) != 4 {
+		t.Fatalf("want 4 table rows, got %d", len(r.Table.Rows))
+	}
+	for _, p := range r.Points {
+		if p.Rejection.Mean < 0 || p.Rejection.Mean > 100 {
+			t.Fatalf("%s shards=%d: rejection %.2f out of range", p.Spec, p.Shards, p.Rejection.Mean)
+		}
+		if p.Energy.Mean <= 0 {
+			t.Fatalf("%s shards=%d: no energy recorded", p.Spec, p.Shards)
+		}
+		if p.SolverMicros.Mean <= 0 {
+			t.Fatalf("%s shards=%d: no solver latency recorded", p.Spec, p.Shards)
+		}
+	}
+	// The reference mode is unsharded one-by-one; the scaled mode shards
+	// the 16c2g platform.
+	if r.Points[0].Shards != 1 || r.Points[0].BatchWindow != 0 {
+		t.Fatalf("first point is not the one-by-one reference: %+v", r.Points[0])
+	}
+	if r.Points[3].Shards != 2 || r.Points[3].BatchWindow <= 0 {
+		t.Fatalf("16c2g batched point not sharded: %+v", r.Points[3])
+	}
+	if _, err := ScaleSweep(cfg, nil); err == nil {
+		t.Fatal("empty spec list accepted")
+	}
+	if _, err := ScaleSweep(cfg, []string{"bogus"}); err == nil {
+		t.Fatal("bad spec accepted")
+	}
+}

@@ -139,7 +139,9 @@ func (p *Plane) Handler() http.Handler { return p.mux }
 // Close terminates open /trace/tail streams by closing the tracer's
 // subscribers. Call when the observed run is finished.
 func (p *Plane) Close() {
-	p.opts.Tracer.CloseSubscribers()
+	if p.opts.Tracer != nil {
+		p.opts.Tracer.CloseSubscribers()
+	}
 }
 
 // ownSnapshot refreshes the plane-owned tracer gauges and snapshots the

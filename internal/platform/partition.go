@@ -1,0 +1,71 @@
+package platform
+
+import "fmt"
+
+// Shard is one partition of a larger platform: a self-contained
+// sub-platform whose resources are renumbered from 0, plus the mapping
+// back to the parent's resource ids. Each shard owns its resources
+// exclusively — partitions never overlap — so per-shard schedulers can
+// run concurrently without sharing EDF state.
+type Shard struct {
+	// Platform is the shard's own view: local ids 0..Len()-1.
+	Platform *Platform
+	// GlobalIDs maps a local resource id to the parent platform's id:
+	// GlobalIDs[local] == global. Local layout is CPUs first, then GPUs,
+	// each in ascending global-id order, mirroring New's convention.
+	GlobalIDs []int
+}
+
+// Partition splits the platform into shards non-overlapping shards,
+// dealing each kind's resources round-robin in id order: shard s
+// receives the k-th resource of a kind iff k % shards == s. A balanced
+// platform therefore shards into near-identical sub-platforms — e.g.
+// "64c8g" into 8 shards of "8c1g" — while an uneven kind spreads as
+// evenly as the deal allows. Every shard is guaranteed at least one
+// resource; asking for more shards than resources is an error.
+func (p *Platform) Partition(shards int) ([]Shard, error) {
+	switch {
+	case shards <= 0:
+		return nil, fmt.Errorf("platform: need at least 1 shard, got %d", shards)
+	case shards > p.Len():
+		return nil, fmt.Errorf("platform: cannot cut %d resources into %d shards", p.Len(), shards)
+	}
+	ids := make([][]int, shards)
+	for _, kind := range []Kind{CPU, GPU} {
+		k := 0
+		for _, r := range p.resources {
+			if r.Kind != kind {
+				continue
+			}
+			ids[k%shards] = append(ids[k%shards], r.ID)
+			k++
+		}
+	}
+	// Dealing CPUs before GPUs makes each shard's GlobalIDs list CPUs
+	// first, so local id k has the same kind as GlobalIDs[k] in the
+	// parent — the alignment the sub-platform constructor produces.
+	out := make([]Shard, shards)
+	for s := range out {
+		if len(ids[s]) == 0 {
+			// Reachable only when one kind dominates and the other is
+			// absent from some shard while total >= shards; the CPU deal
+			// fills shards 0..cpus-1 first, so a shard can be empty only
+			// when shards > Len(), which is rejected above. Guard anyway.
+			return nil, fmt.Errorf("platform: shard %d of %d would be empty", s, shards)
+		}
+		cpus, gpus := 0, 0
+		for _, id := range ids[s] {
+			if p.resources[id].Kind == CPU {
+				cpus++
+			} else {
+				gpus++
+			}
+		}
+		sub, err := NewPools(Pool{Kind: CPU, Count: cpus}, Pool{Kind: GPU, Count: gpus})
+		if err != nil {
+			return nil, fmt.Errorf("platform: shard %d: %w", s, err)
+		}
+		out[s] = Shard{Platform: sub, GlobalIDs: ids[s]}
+	}
+	return out, nil
+}

@@ -62,6 +62,13 @@ type Config struct {
 	// solver, optional tracer/metrics/provenance). A StateProbe set here
 	// is chained after the plane's.
 	Engine engine.Config
+	// Shard, when Shard.Shards > 1, runs the service on an engine.Sharded
+	// scale-out engine instead of a bare Engine: arrivals are routed to
+	// platform shards by load and type affinity (DESIGN.md §12). The
+	// sharded engine's feature restrictions apply (no tracer, provenance,
+	// predictor, critical tasks or overhead hook). Shards <= 1 keeps the
+	// single-engine path.
+	Shard engine.ShardConfig
 	// Clock drives the server; nil means a WallClock at speed 1 started
 	// when New is called. A *ManualClock switches the server to step mode:
 	// no dispatcher goroutine runs and Shutdown drains in engine time,
@@ -85,7 +92,7 @@ type Server struct {
 	step  bool // ManualClock: no dispatcher, engine-time drain
 
 	mu        sync.Mutex
-	eng       *engine.Engine
+	eng       engine.Driver
 	decisions []DecisionRecord
 	closed    bool
 	failure   error // first engine invariant breakage; poisons intake
@@ -122,7 +129,13 @@ func New(cfg Config) (*Server, error) {
 			}
 		}
 	}
-	eng, err := engine.New(cfg.Engine)
+	var eng engine.Driver
+	var err error
+	if cfg.Shard.Shards > 1 {
+		eng, err = engine.NewSharded(cfg.Engine, cfg.Shard)
+	} else {
+		eng, err = engine.New(cfg.Engine)
+	}
 	if err != nil {
 		return nil, err
 	}

@@ -1,0 +1,56 @@
+// Shard projection: slicing a task set's per-resource vectors down to a
+// sub-platform, so a platform shard (platform.Partition) can run the
+// unmodified admission machinery against local resource ids.
+package task
+
+import (
+	"fmt"
+
+	"predrm/internal/platform"
+)
+
+// Project returns the set restricted to the sub-platform sub, whose
+// local resource i corresponds to s.Platform resource globalIDs[i].
+// Type IDs are preserved, so request streams keep referring to the same
+// types. MigTime/MigEnergy carry over unchanged: a migration inside a
+// shard costs what it costs on the full platform.
+//
+// A type may end up executable on none of the shard's resources; its
+// projected vectors are all NotExecutable. Such a projection does not
+// pass Set.Validate — shard routing is expected to send requests of a
+// type only to shards that can execute it, so the projected set is
+// checked pairwise here instead of through Validate.
+func (s *Set) Project(sub *platform.Platform, globalIDs []int) (*Set, error) {
+	if sub == nil {
+		return nil, fmt.Errorf("task: project onto nil platform")
+	}
+	if len(globalIDs) != sub.Len() {
+		return nil, fmt.Errorf("task: %d global ids for %d shard resources", len(globalIDs), sub.Len())
+	}
+	n := s.Platform.Len()
+	for local, global := range globalIDs {
+		if global < 0 || global >= n {
+			return nil, fmt.Errorf("task: shard resource %d maps to out-of-range global id %d", local, global)
+		}
+		if s.Platform.Resource(global).Kind != sub.Resource(local).Kind {
+			return nil, fmt.Errorf("task: shard resource %d (%s) maps to global %d (%s): kind mismatch",
+				local, sub.Resource(local).Kind, global, s.Platform.Resource(global).Kind)
+		}
+	}
+	out := &Set{Platform: sub, Types: make([]*Type, 0, len(s.Types))}
+	for _, t := range s.Types {
+		pt := &Type{
+			ID:        t.ID,
+			WCET:      make([]float64, sub.Len()),
+			Energy:    make([]float64, sub.Len()),
+			MigTime:   t.MigTime,
+			MigEnergy: t.MigEnergy,
+		}
+		for local, global := range globalIDs {
+			pt.WCET[local] = t.WCET[global]
+			pt.Energy[local] = t.Energy[global]
+		}
+		out.Types = append(out.Types, pt)
+	}
+	return out, nil
+}

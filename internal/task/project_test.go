@@ -1,0 +1,58 @@
+package task
+
+import (
+	"testing"
+
+	"predrm/internal/platform"
+	"predrm/internal/rng"
+)
+
+func TestProjectSlicesVectors(t *testing.T) {
+	p, err := platform.Parse("4c2g")
+	if err != nil {
+		t.Fatal(err)
+	}
+	set, err := Generate(p, DefaultGenConfig(), rng.New(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	shards, err := p.Partition(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for s, sh := range shards {
+		sub, err := set.Project(sh.Platform, sh.GlobalIDs)
+		if err != nil {
+			t.Fatalf("shard %d: %v", s, err)
+		}
+		if sub.Len() != set.Len() {
+			t.Fatalf("shard %d: %d types, want %d", s, sub.Len(), set.Len())
+		}
+		for _, ty := range sub.Types {
+			orig := set.Type(ty.ID)
+			if ty.MigTime != orig.MigTime || ty.MigEnergy != orig.MigEnergy {
+				t.Fatalf("type %d: migration overheads changed", ty.ID)
+			}
+			for local, global := range sh.GlobalIDs {
+				if ty.WCET[local] != orig.WCET[global] || ty.Energy[local] != orig.Energy[global] {
+					t.Fatalf("type %d: local %d differs from global %d", ty.ID, local, global)
+				}
+			}
+		}
+	}
+}
+
+func TestProjectRejectsBadMapping(t *testing.T) {
+	p := platform.New(2, 1)
+	set := Motivational() // 2c1g platform
+	if _, err := set.Project(p, []int{0, 1}); err == nil {
+		t.Fatal("expected length-mismatch error")
+	}
+	if _, err := set.Project(p, []int{0, 1, 9}); err == nil {
+		t.Fatal("expected out-of-range error")
+	}
+	// Kind mismatch: local GPU slot mapped to a global CPU.
+	if _, err := set.Project(p, []int{0, 1, 0}); err == nil {
+		t.Fatal("expected kind-mismatch error")
+	}
+}
